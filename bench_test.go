@@ -1,0 +1,102 @@
+// Benchmarks regenerating every figure of the paper's evaluation (Figs. 8, 9,
+// 11, 12, 13, 14 — there are no numbered tables besides the algorithm listing
+// of Table 1, which internal/core implements and tests directly) plus the
+// comparison and ablation experiments of DESIGN.md. Each benchmark measures
+// the full cost of reproducing one figure: building the workload, partitioning
+// it, running the solver(s), and collecting the series the paper plots.
+//
+// Run them with:
+//
+//	go test -bench=. -benchmem            # reduced sizes, minutes
+//	go test -bench=. -benchmem -full      # the paper's full problem sizes
+package repro
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// full switches the benchmarks from the reduced problem sizes (which keep the
+// whole suite in the minutes range) to the paper's full configurations.
+var full = flag.Bool("full", false, "benchmark the paper's full problem sizes")
+
+func benchmarkExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner, ok := experiments.Registry()[name]
+	if !ok {
+		b.Fatalf("experiment %q is not registered", name)
+	}
+	quick := !*full
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner(io.Discard, quick); err != nil {
+			b.Fatalf("experiment %q: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: DTM on the paper's 4-unknown example, two
+// processors with 6.7 µs / 2.9 µs asymmetric delays, Z₂ = 0.2 and Z₃ = 0.1.
+func BenchmarkFig8(b *testing.B) { benchmarkExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig. 9: the RMS error at t = 100 µs as a function
+// of the characteristic impedance of the DTLPs.
+func BenchmarkFig9(b *testing.B) { benchmarkExperiment(b, "fig9") }
+
+// BenchmarkFig11 regenerates Fig. 11: the 16-processor 4×4 mesh with
+// heterogeneous, direction-dependent delays and its delay statistics.
+func BenchmarkFig11(b *testing.B) { benchmarkExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig. 12: DTM convergence curves on the
+// 16-processor heterogeneous mesh for the randomly generated grid-sparsity SPD
+// systems with 289 and 1089 unknowns.
+func BenchmarkFig12(b *testing.B) { benchmarkExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13: the 64-processor 8×8 mesh whose directed
+// link delays are uniformly distributed in [10 ms, 100 ms].
+func BenchmarkFig13(b *testing.B) { benchmarkExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14: DTM convergence curves on 64 processors
+// for the systems with 1089 and 4225 unknowns.
+func BenchmarkFig14(b *testing.B) { benchmarkExperiment(b, "fig14") }
+
+// BenchmarkCompareDTMVTM regenerates the DTM-versus-VTM comparison the paper's
+// conclusions discuss (extra experiment E1 in DESIGN.md).
+func BenchmarkCompareDTMVTM(b *testing.B) { benchmarkExperiment(b, "compare-vtm") }
+
+// BenchmarkCompareAsyncJacobi regenerates the DTM-versus-asynchronous-
+// block-Jacobi comparison behind the introduction's claim (E2 in DESIGN.md).
+func BenchmarkCompareAsyncJacobi(b *testing.B) { benchmarkExperiment(b, "compare-async-jacobi") }
+
+// BenchmarkAblationImpedance regenerates the impedance-strategy ablation (E3).
+func BenchmarkAblationImpedance(b *testing.B) { benchmarkExperiment(b, "ablation-impedance") }
+
+// BenchmarkAblationDelays regenerates the delay-heterogeneity ablation (E4).
+func BenchmarkAblationDelays(b *testing.B) { benchmarkExperiment(b, "ablation-delays") }
+
+// BenchmarkAblationMixed regenerates the sync/async-mixing (GALS) ablation (E5).
+func BenchmarkAblationMixed(b *testing.B) { benchmarkExperiment(b, "ablation-mixed") }
+
+// TestAllExperimentsQuick runs every registered experiment at its reduced size
+// so the whole evaluation pipeline is exercised by `go test` as well.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment pipeline test skipped in -short mode")
+	}
+	for _, name := range experiments.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runner := experiments.Registry()[name]
+			if runner == nil {
+				t.Fatalf("experiment %q is not registered", name)
+			}
+			if err := runner(io.Discard, true); err != nil {
+				t.Fatalf("experiment %q failed: %v", name, err)
+			}
+		})
+	}
+}

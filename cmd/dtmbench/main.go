@@ -1,0 +1,71 @@
+// Command dtmbench regenerates the tables and figures of the paper's
+// evaluation (and the extra comparisons and ablations listed in DESIGN.md) and
+// prints them as plain-text tables.
+//
+// Usage:
+//
+//	dtmbench -list
+//	dtmbench -exp fig8
+//	dtmbench -exp fig12 -quick
+//	dtmbench -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (see -list)")
+		all   = flag.Bool("all", false, "run every registered experiment")
+		quick = flag.Bool("quick", false, "use reduced problem sizes")
+		list  = flag.Bool("list", false, "list the available experiments")
+	)
+	flag.Parse()
+
+	registry := experiments.Registry()
+	switch {
+	case *list:
+		fmt.Println("available experiments:")
+		for _, name := range experiments.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	case *all:
+		for _, name := range experiments.Names() {
+			if err := runOne(registry, name, *quick); err != nil {
+				fmt.Fprintf(os.Stderr, "dtmbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	case *exp != "":
+		if err := runOne(registry, *exp, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(registry map[string]experiments.Runner, name string, quick bool) error {
+	runner, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", name)
+	}
+	fmt.Printf("==== %s ====\n", name)
+	start := time.Now()
+	if err := runner(os.Stdout, quick); err != nil {
+		return err
+	}
+	fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}

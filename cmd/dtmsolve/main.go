@@ -1,0 +1,308 @@
+// Command dtmsolve solves a sparse SPD linear system with the Directed
+// Transmission Method (or one of the baselines) and prints the solve
+// statistics.
+//
+// The system is either generated (-gen poisson2d -nx 33 -ny 33) or read from
+// files (-matrix A.mtx -rhs b.vec, in the simple text format of internal/sparse).
+//
+// Usage examples:
+//
+//	dtmsolve -gen poisson2d -nx 33 -ny 33 -method dtm -parts 16 -topo mesh4x4
+//	dtmsolve -gen random -n 500 -method cg
+//	dtmsolve -matrix A.mtx -rhs b.vec -method vtm -parts 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/iterative"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+type options struct {
+	gen         string
+	nx, ny      int
+	n           int
+	seed        int64
+	matrix      string
+	rhs         string
+	method      string
+	parts       int
+	topo        string
+	partitioner string
+	maxTime     float64
+	maxIter     int
+	tol         float64
+	printX      bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.gen, "gen", "", "generator: poisson2d, poisson3d, random, random-grid, resistor, tridiag")
+	flag.IntVar(&o.nx, "nx", 33, "grid width for grid generators")
+	flag.IntVar(&o.ny, "ny", 33, "grid height for grid generators")
+	flag.IntVar(&o.n, "n", 500, "dimension for non-grid generators")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed for the generators")
+	flag.StringVar(&o.matrix, "matrix", "", "matrix file (text format of internal/sparse)")
+	flag.StringVar(&o.rhs, "rhs", "", "right-hand-side file")
+	flag.StringVar(&o.method, "method", "dtm", "solver: dtm, vtm, mixed, live, cg, pcg, jacobi, gauss-seidel, sor, block-jacobi, async-jacobi")
+	flag.IntVar(&o.parts, "parts", 4, "number of subdomains / blocks for the distributed solvers")
+	flag.StringVar(&o.topo, "topo", "uniform", "machine: uniform, mesh4x4, mesh8x8, ring, torus")
+	flag.StringVar(&o.partitioner, "partitioner", "levelset", "graph partitioner for the distributed solvers: levelset, bisection, strips")
+	flag.Float64Var(&o.maxTime, "maxtime", 10000, "virtual time horizon for dtm/async-jacobi (topology time units)")
+	flag.IntVar(&o.maxIter, "maxiter", 5000, "iteration bound for the discrete-time solvers")
+	flag.Float64Var(&o.tol, "tol", 1e-8, "stopping tolerance")
+	flag.BoolVar(&o.printX, "print-x", false, "print the solution vector")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	sys, err := loadSystem(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system %q: n=%d, nnz=%d, symmetric=%v\n", sys.Name, sys.Dim(), sys.A.NNZ(), sys.A.IsSymmetric(1e-12))
+
+	start := time.Now()
+	x, summary, err := solve(o, sys)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	rel := sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2()
+	fmt.Printf("method=%s  %s\n", o.method, summary)
+	fmt.Printf("relative residual %.3g, wall time %v\n", rel, elapsed.Round(time.Millisecond))
+	if o.printX {
+		for i, v := range x {
+			fmt.Printf("x[%d] = %.10g\n", i, v)
+		}
+	}
+	return nil
+}
+
+func loadSystem(o options) (sparse.System, error) {
+	if o.matrix != "" {
+		mf, err := os.Open(o.matrix)
+		if err != nil {
+			return sparse.System{}, err
+		}
+		defer mf.Close()
+		a, err := sparse.ReadMatrix(mf)
+		if err != nil {
+			return sparse.System{}, fmt.Errorf("reading %s: %w", o.matrix, err)
+		}
+		var b sparse.Vec
+		if o.rhs != "" {
+			rf, err := os.Open(o.rhs)
+			if err != nil {
+				return sparse.System{}, err
+			}
+			defer rf.Close()
+			b, err = sparse.ReadVec(rf)
+			if err != nil {
+				return sparse.System{}, fmt.Errorf("reading %s: %w", o.rhs, err)
+			}
+		} else {
+			// Default right-hand side: all ones, the standard smoke-test load.
+			b = sparse.NewVec(a.Rows())
+			b.Fill(1)
+		}
+		if len(b) != a.Rows() {
+			return sparse.System{}, fmt.Errorf("matrix is %d-dimensional but the right-hand side has %d entries", a.Rows(), len(b))
+		}
+		return sparse.System{A: a, B: b, Name: o.matrix}, nil
+	}
+	switch o.gen {
+	case "poisson2d":
+		return sparse.Poisson2D(o.nx, o.ny, 0.05), nil
+	case "poisson3d":
+		return sparse.Poisson3D(o.nx, o.ny, o.nx, 0.05), nil
+	case "random":
+		return sparse.RandomSPD(o.n, 0.02, o.seed), nil
+	case "random-grid":
+		return sparse.RandomGridSPD(o.nx, o.ny, o.seed), nil
+	case "resistor":
+		return sparse.ResistorNetwork(o.nx, o.ny, o.seed), nil
+	case "tridiag":
+		return sparse.Tridiagonal(o.n, 2.1, -1), nil
+	case "":
+		return sparse.System{}, fmt.Errorf("either -gen or -matrix is required")
+	default:
+		return sparse.System{}, fmt.Errorf("unknown generator %q", o.gen)
+	}
+}
+
+func machine(o options) (*topology.Topology, error) {
+	switch o.topo {
+	case "uniform":
+		return topology.Uniform(o.parts, 10, fmt.Sprintf("uniform %d-processor machine", o.parts)), nil
+	case "mesh4x4":
+		return topology.Mesh4x4Paper(), nil
+	case "mesh8x8":
+		return topology.Mesh8x8Paper(), nil
+	case "ring":
+		return topology.Ring(o.parts, 10), nil
+	case "torus":
+		side := 2
+		for side*side < o.parts {
+			side++
+		}
+		return topology.TorusUniformRandom(side, side, 10, 99, 1, fmt.Sprintf("torus %dx%d", side, side)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
+	}
+}
+
+// assignment picks the graph partitioner requested on the command line.
+func assignment(o options, g *graph.Electric) (partition.Assignment, error) {
+	switch o.partitioner {
+	case "levelset":
+		return partition.LevelSetGrow(g, o.parts), nil
+	case "bisection":
+		return partition.RecursiveBisection(g, o.parts), nil
+	case "strips":
+		return partition.Strips(g.Order(), o.parts), nil
+	default:
+		return partition.Assignment{}, fmt.Errorf("unknown partitioner %q", o.partitioner)
+	}
+}
+
+func distributedProblem(o options, sys sparse.System) (*core.Problem, error) {
+	topo, err := machine(o)
+	if err != nil {
+		return nil, err
+	}
+	if topo.N() < o.parts {
+		return nil, fmt.Errorf("topology %s has %d processors but %d parts were requested", topo.Name(), topo.N(), o.parts)
+	}
+	g, err := graph.FromSystem(sys.A, sys.B)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := assignment(o, g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := partition.EVS(g, assign, partition.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(sys, res, topo, nil)
+}
+
+func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
+	switch o.method {
+	case "dtm":
+		prob, err := distributedProblem(o, sys)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("converged=%v at t=%.0f, %d local solves, %d messages, twin gap %.3g",
+			res.Converged, res.FinalTime, res.Solves, res.Messages, res.TwinGap), nil
+	case "vtm":
+		prob, err := distributedProblem(o, sys)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := core.SolveVTM(prob, core.VTMOptions{MaxIterations: o.maxIter, Tol: o.tol})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("converged=%v after %d synchronous sweeps, twin gap %.3g",
+			res.Converged, res.Iterations, res.TwinGap), nil
+	case "mixed":
+		prob, err := distributedProblem(o, sys)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := core.SolveMixed(prob, core.MixedOptions{
+			MaxTime:     o.maxTime,
+			AsyncWindow: o.maxTime / 20,
+			SyncSweeps:  1,
+			Tol:         o.tol,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("converged=%v at t=%.0f after %d async phases and %d sync sweeps, %d local solves, %d messages",
+			res.Converged, res.FinalTime, res.AsyncPhases, res.SyncSweepsDone, res.Solves, res.Messages), nil
+	case "live":
+		prob, err := distributedProblem(o, sys)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := core.SolveLive(prob, core.LiveOptions{
+			MaxWallTime: 3 * time.Second,
+			TimeScale:   20 * time.Microsecond,
+			Tol:         o.tol,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("converged=%v after %.2f s of real asynchronous execution, %d local solves, %d messages",
+			res.Converged, res.FinalTime, res.Solves, res.Messages), nil
+	case "cg":
+		x, st, err := iterative.CG(sys.A, sys.B, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "pcg":
+		m, err := iterative.NewJacobiPreconditioner(sys.A)
+		if err != nil {
+			return nil, "", err
+		}
+		x, st, err := iterative.PCG(sys.A, sys.B, m, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "jacobi":
+		x, st, err := iterative.Jacobi(sys.A, sys.B, 1, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "gauss-seidel":
+		x, st, err := iterative.GaussSeidel(sys.A, sys.B, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "sor":
+		x, st, err := iterative.SOR(sys.A, sys.B, 1.5, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "block-jacobi":
+		assign := partition.Strips(sys.Dim(), o.parts)
+		x, st, err := iterative.BlockJacobi(sys.A, sys.B, assign, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		return x, iterSummary(st), err
+	case "async-jacobi":
+		topo, err := machine(o)
+		if err != nil {
+			return nil, "", err
+		}
+		assign := partition.Strips(sys.Dim(), o.parts)
+		res, err := iterative.AsyncBlockJacobi(sys.A, sys.B, assign, topo, iterative.AsyncOptions{MaxTime: o.maxTime, Tol: o.tol})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.X, fmt.Sprintf("converged=%v at t=%.0f, %d local solves, %d messages",
+			res.Converged, res.FinalTime, res.Solves, res.Messages), nil
+	default:
+		return nil, "", fmt.Errorf("unknown method %q", o.method)
+	}
+}
+
+func iterSummary(st iterative.Stats) string {
+	res := st.Residual
+	if math.IsNaN(res) {
+		res = 0
+	}
+	return fmt.Sprintf("converged=%v after %d iterations, relative residual %.3g", st.Converged, st.Iterations, res)
+}

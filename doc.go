@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Directed Transmission
+// Method, a fully asynchronous approach to solve sparse linear systems in
+// parallel" (Fei Wei & Huazhong Yang, ACM SPAA 2008).
+//
+// The library lives under internal/ (see DESIGN.md for the full inventory):
+//
+//   - internal/sparse, internal/dense, internal/spectral — the numerical
+//     substrate (CSR matrices, Cholesky/LU/eigen, definiteness certification);
+//   - internal/graph, internal/partition — the electric graph of a symmetric
+//     system and its Electric Vertex Splitting (wire tearing);
+//   - internal/dtl, internal/topology, internal/netsim — directed transmission
+//     lines, heterogeneous machines, and the discrete-event network simulator;
+//   - internal/core — the DTM solver itself (asynchronous DES engine, live
+//     goroutine engine, and the synchronous VTM special case);
+//   - internal/iterative — the classical baselines (CG, Jacobi, Gauss–Seidel,
+//     SOR, synchronous and asynchronous block-Jacobi);
+//   - internal/experiments — one entry point per figure/table of the paper's
+//     evaluation plus the comparisons and ablations of DESIGN.md.
+//
+// The executables cmd/dtmsolve, cmd/dtmbench and cmd/dtmgen and the programs
+// under examples/ exercise the same packages; bench_test.go at the module root
+// regenerates every experiment as a testing.B benchmark.
+package repro

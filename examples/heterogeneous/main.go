@@ -1,0 +1,98 @@
+// Heterogeneous: the paper's headline scenario (Figs. 11–12). Sixteen
+// processors form a 4×4 mesh whose neighbour-to-neighbour delays are wildly
+// unequal — the slowest directed link is about nine times slower than the
+// fastest, and the delay from Pj to Pk differs from the delay from Pk to Pj.
+// A synchronous domain-decomposition method pays the slowest round-trip on
+// every sweep; DTM never waits, so each subdomain advances at the pace of its
+// own links. This example prints the delay table of Fig. 11 and then the
+// convergence of DTM and of the synchronous VTM reference on the same machine.
+//
+// Run with:
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+func main() {
+	// The machine of Fig. 11.
+	machine := topology.Mesh4x4Paper()
+	stats := machine.Stats()
+	fmt.Printf("machine %q\n", machine.Name())
+	tbl := metrics.NewTable("directed N2N link delays (ms)", "from", "to", "delay", "reverse")
+	for _, l := range machine.Links() {
+		if l.From < l.To {
+			tbl.AddRow(l.From, l.To, l.Delay, machine.LinkDelay(l.To, l.From))
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min %.0f ms, max %.0f ms (ratio %.1f), max directional asymmetry %.1f\n\n",
+		stats.Min, stats.Max, stats.Max/stats.Min, stats.AsymmetryMax)
+
+	// The workload of Fig. 12: a randomly generated grid-sparsity SPD system
+	// with 1089 unknowns, regularly partitioned into 4×4 = 16 subdomains.
+	sys := sparse.RandomGridSPD(33, 33, 1089)
+	exact, st, err := iterative.CG(sys.A, sys.B, iterative.Config{MaxIterations: 20 * sys.Dim(), Tol: 1e-13})
+	if err != nil || !st.Converged {
+		log.Fatalf("reference CG failed: %v (converged=%v)", err, st.Converged)
+	}
+	prob, err := core.GridProblem(sys, 33, 33, 4, 4, machine)
+	if err != nil {
+		log.Fatalf("building the DTM problem: %v", err)
+	}
+	fmt.Printf("system %q: n=%d; %s\n\n", sys.Name, sys.Dim(), core.CheckTheorem(prob, 1e-9, 400))
+
+	// Asynchronous DTM on the heterogeneous machine.
+	dtmRes, err := core.SolveDTM(prob, core.Options{
+		MaxTime:     12000,
+		Exact:       exact,
+		StopOnError: 1e-8,
+		RecordTrace: true,
+	})
+	if err != nil {
+		log.Fatalf("running DTM: %v", err)
+	}
+	fmt.Printf("DTM:  rms error %.3g at t = %.0f ms, reached 1e-6 at t = %.0f ms, %d solves, %d messages\n",
+		dtmRes.RMSError, dtmRes.FinalTime, dtmRes.TimeToError(1e-6), dtmRes.Solves, dtmRes.Messages)
+
+	// The synchronous special case (VTM) as the reference point: fewer sweeps,
+	// but on this machine every sweep costs the slowest round-trip.
+	vtmRes, err := core.SolveVTM(prob, core.VTMOptions{
+		MaxIterations: 2000,
+		Exact:         exact,
+		StopOnError:   1e-8,
+		RecordTrace:   true,
+	})
+	if err != nil {
+		log.Fatalf("running VTM: %v", err)
+	}
+	slowest := 0.0
+	for _, l := range machine.Links() {
+		if rt := l.Delay + machine.LinkDelay(l.To, l.From); rt > slowest {
+			slowest = rt
+		}
+	}
+	iterTo1e6 := math.NaN()
+	for _, tp := range vtmRes.Trace {
+		if tp.RMSError <= 1e-6 {
+			iterTo1e6 = tp.Time
+			break
+		}
+	}
+	fmt.Printf("VTM:  rms error %.3g after %d synchronous sweeps; reaching 1e-6 took %.0f sweeps ~ %.0f ms on this machine (slowest round-trip %.0f ms per sweep)\n",
+		vtmRes.RMSError, vtmRes.Iterations, iterTo1e6, iterTo1e6*slowest, slowest)
+	fmt.Println("\nDTM needs more local solves, but no processor ever waits for the slowest link — the paper's trade-off in one table.")
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/sparse"
+)
+
+// wavePacket is the payload of one N2N message: the outgoing waves of every
+// DTL whose far end lives in the destination subdomain.
+type wavePacket struct {
+	entries []waveEntry
+}
+
+type waveEntry struct {
+	linkID int
+	wave   float64
+}
+
+// engine is the shared state of a DES-based DTM run: the subdomains, the
+// incrementally maintained assembled solution and error, and the trace.
+type engine struct {
+	prob *Problem
+	opts *Options
+	subs []*Subdomain
+
+	// ownerOf[part] lists the (local index, global index) pairs the part owns
+	// (see Problem.OwnerPairs).
+	ownerOf [][][2]int
+
+	x     sparse.Vec // assembled solution (owner copies)
+	exact sparse.Vec
+	// errSq is the running Σ (x_i - exact_i)² (valid only when exact != nil).
+	// It is updated incrementally on every local solve and recomputed exactly
+	// every errRecomputeEvery updates, because the incremental subtraction
+	// accumulates rounding residue that would otherwise keep the apparent
+	// error above tight StopOnError thresholds forever.
+	errSq          float64
+	sinceRecompute int
+	solves         int
+
+	lastChange []float64 // last boundary-potential change per part
+	solvedOnce []bool
+
+	trace     []TracePoint
+	messages  int
+	converged bool
+
+	// timeOffset is added to every recorded trace time; the mixed sync/async
+	// engine uses it to stitch several DES windows onto one virtual time axis.
+	timeOffset float64
+}
+
+func newEngine(p *Problem, opts *Options, subs []*Subdomain) *engine {
+	e := &engine{
+		prob:       p,
+		opts:       opts,
+		subs:       subs,
+		x:          sparse.NewVec(p.System.Dim()),
+		exact:      opts.Exact,
+		lastChange: make([]float64, len(subs)),
+		solvedOnce: make([]bool, len(subs)),
+	}
+	for i := range e.lastChange {
+		e.lastChange[i] = math.Inf(1)
+	}
+	e.ownerOf = p.OwnerPairs()
+	if e.exact != nil {
+		for i := range e.x {
+			d := e.x[i] - e.exact[i]
+			e.errSq += d * d
+		}
+	}
+	return e
+}
+
+// errRecomputeEvery is how many incremental error updates are allowed between
+// exact recomputations of errSq (see the field comment).
+const errRecomputeEvery = 256
+
+// applyLocal folds the latest local solution of one part into the assembled
+// solution and the running error, touching only the entries that part owns.
+func (e *engine) applyLocal(part int) {
+	lx := e.subs[part].X()
+	for _, pair := range e.ownerOf[part] {
+		li, gv := pair[0], pair[1]
+		if e.exact != nil {
+			d := e.x[gv] - e.exact[gv]
+			e.errSq -= d * d
+			d = lx[li] - e.exact[gv]
+			e.errSq += d * d
+		}
+		e.x[gv] = lx[li]
+	}
+	if e.errSq < 0 {
+		e.errSq = 0
+	}
+	if e.exact == nil {
+		return
+	}
+	e.sinceRecompute++
+	if e.sinceRecompute >= errRecomputeEvery {
+		e.recomputeErr()
+	}
+}
+
+// recomputeErr recomputes the running squared error exactly from the assembled
+// solution, discarding the accumulated incremental rounding residue.
+func (e *engine) recomputeErr() {
+	e.sinceRecompute = 0
+	e.errSq = 0
+	for i := range e.x {
+		d := e.x[i] - e.exact[i]
+		e.errSq += d * d
+	}
+}
+
+func (e *engine) rmsError() float64 {
+	if e.exact == nil {
+		return math.NaN()
+	}
+	n := len(e.x)
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(e.errSq / float64(n))
+}
+
+// twinGap returns the largest twin-potential disagreement over all links.
+func (e *engine) twinGap() float64 {
+	var m float64
+	for _, l := range e.prob.Partition.Links {
+		va := e.subs[l.PartA].PortPotential(l.PortA)
+		vb := e.subs[l.PartB].PortPotential(l.PortB)
+		if d := math.Abs(va - vb); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// quiesced implements the distributed stopping rule of Options.Tol.
+func (e *engine) quiesced(tol float64) bool {
+	if tol <= 0 {
+		return false
+	}
+	for i := range e.subs {
+		if !e.solvedOnce[i] || e.lastChange[i] > tol {
+			return false
+		}
+	}
+	return e.twinGap() <= tol
+}
+
+func (e *engine) shouldStop() bool {
+	if e.opts.StopOnError > 0 && e.exact != nil && e.rmsError() <= e.opts.StopOnError {
+		e.converged = true
+		return true
+	}
+	if e.quiesced(e.opts.Tol) {
+		e.converged = true
+		return true
+	}
+	return false
+}
+
+func (e *engine) record(now float64) {
+	if !e.opts.RecordTrace {
+		return
+	}
+	e.trace = append(e.trace, TracePoint{
+		Time:     e.timeOffset + now,
+		RMSError: e.rmsError(),
+		TwinGap:  e.twinGap(),
+		Solves:   e.solves,
+		Messages: e.messages,
+	})
+}
+
+// dtmNode adapts one Subdomain to the netsim.Node interface, implementing the
+// per-processor loop of Table 1 in the paper.
+type dtmNode struct {
+	eng *engine
+	sub *Subdomain
+	dim int
+	adj []int
+	// lastSent[k] is the wave last sent on end k (NaN before the first send).
+	lastSent []float64
+	compute  func(part, dim int) float64
+	// warmStart makes Init announce the subdomain's current outgoing waves
+	// instead of the paper's zero initial condition (5.6); the mixed sync/async
+	// engine uses it to resume an asynchronous window from accumulated state.
+	warmStart bool
+}
+
+func newDTMNode(eng *engine, sub *Subdomain, compute func(part, dim int) float64) *dtmNode {
+	n := &dtmNode{
+		eng:      eng,
+		sub:      sub,
+		dim:      sub.Dim(),
+		adj:      sub.AdjacentParts(),
+		lastSent: make([]float64, len(sub.Ends())),
+		compute:  compute,
+	}
+	for k := range n.lastSent {
+		n.lastSent[k] = math.NaN()
+	}
+	return n
+}
+
+// Init implements the paper's step 1–2: the initial boundary conditions are
+// the zero state (5.6), so the initial wave u−Z·ω on every line is zero; these
+// initial waves are what bootstraps the asynchronous exchange. A warm-started
+// node instead announces the outgoing waves of its current state.
+func (n *dtmNode) Init(now float64) []netsim.Outgoing {
+	return n.packetsToAll(!n.warmStart)
+}
+
+// OnMessages implements steps 3–3.2: fold the received remote boundary
+// conditions into the local right-hand side, re-solve the (pre-factorised)
+// local system, and send the new local boundary conditions to the adjacent
+// subdomains.
+func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message) []netsim.Outgoing {
+	for _, m := range msgs {
+		pkt, ok := m.Payload.(wavePacket)
+		if !ok {
+			continue
+		}
+		for _, en := range pkt.entries {
+			n.sub.SetIncomingByLink(en.linkID, en.wave)
+		}
+	}
+	change := n.sub.Solve()
+	part := n.sub.Part()
+	n.eng.lastChange[part] = change
+	n.eng.solvedOnce[part] = true
+	n.eng.solves++
+	n.eng.applyLocal(part)
+	if n.eng.opts.Observer != nil {
+		n.eng.opts.Observer(now, part, n.sub.X())
+	}
+	return n.packetsToAll(false)
+}
+
+// ComputeTime implements netsim.Node.
+func (n *dtmNode) ComputeTime(batch int) float64 {
+	return n.compute(n.sub.Part(), n.dim)
+}
+
+// packetsToAll builds one wave packet per adjacent subdomain. When initial is
+// true the waves are the zero initial condition; otherwise they are the waves
+// of the latest local solve, filtered by the send threshold.
+func (n *dtmNode) packetsToAll(initial bool) []netsim.Outgoing {
+	threshold := n.eng.opts.SendThreshold
+	var outs []netsim.Outgoing
+	for _, remote := range n.adj {
+		ends := n.sub.EndsTowards(remote)
+		entries := make([]waveEntry, 0, len(ends))
+		changed := initial
+		for _, k := range ends {
+			var w float64
+			if initial {
+				w = 0
+			} else {
+				w = n.sub.OutgoingWave(k)
+			}
+			if math.IsNaN(n.lastSent[k]) || math.Abs(w-n.lastSent[k]) > threshold {
+				changed = true
+			}
+			entries = append(entries, waveEntry{linkID: n.sub.Ends()[k].LinkID, wave: w})
+		}
+		if !changed {
+			continue
+		}
+		for i, k := range ends {
+			n.lastSent[k] = entries[i].wave
+		}
+		n.eng.messages += 1
+		outs = append(outs, netsim.Outgoing{To: remote, Payload: wavePacket{entries: entries}})
+	}
+	return outs
+}
+
+// SolveDTM runs the Directed Transmission Method on the problem's machine
+// using the deterministic discrete-event engine and returns the assembled
+// solution plus the convergence trace.
+func SolveDTM(p *Problem, opts Options) (*Result, error) {
+	if err := opts.validate(p); err != nil {
+		return nil, err
+	}
+	subs, zs, err := p.buildSubdomains(opts.impedance())
+	if err != nil {
+		return nil, err
+	}
+
+	// Degenerate case: a single subdomain (no twin links) is the whole system;
+	// one local solve is the exact answer.
+	if len(p.Partition.Links) == 0 {
+		eng := newEngine(p, &opts, subs)
+		for part, s := range subs {
+			s.Solve()
+			eng.solves++
+			eng.applyLocal(part)
+			eng.solvedOnce[part] = true
+			eng.lastChange[part] = 0
+		}
+		eng.record(0)
+		return finish(eng, zs, 0, 0, true), nil
+	}
+
+	eng := newEngine(p, &opts, subs)
+	compute := opts.computeTimeFn(p)
+	nodes := make([]netsim.Node, len(subs))
+	for i, s := range subs {
+		nodes[i] = newDTMNode(eng, s, compute)
+	}
+	sim := netsim.New(nodes, func(from, to int) float64 { return p.Delay(from, to) })
+	sim.SetObserver(func(now float64, node int) { eng.record(now) })
+	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop() })
+
+	stats := sim.Run(opts.MaxTime)
+	return finish(eng, zs, stats.Time, stats.Messages, eng.converged), nil
+}
+
+func finish(eng *engine, zs []float64, finalTime float64, deliveredMessages int, converged bool) *Result {
+	p := eng.prob
+	x := eng.x.Clone()
+	res := &Result{
+		X:          x,
+		Converged:  converged,
+		FinalTime:  finalTime,
+		TwinGap:    eng.twinGap(),
+		Solves:     eng.solves,
+		Messages:   deliveredMessages,
+		Trace:      downsample(eng.trace, eng.opts.traceMax()),
+		Impedances: zs,
+	}
+	if eng.exact != nil {
+		res.RMSError = x.RMSError(eng.exact)
+	} else {
+		res.RMSError = math.NaN()
+	}
+	r := p.System.A.Residual(x, p.System.B)
+	bn := p.System.B.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	res.Residual = r.Norm2() / bn
+	return res
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dtl"
+	"repro/internal/sparse"
+)
+
+// LiveOptions configures the live engine: the genuinely asynchronous execution
+// of DTM on goroutines and channels, with the topology's delays mapped onto
+// real wall-clock delays. The live engine demonstrates that the algorithm
+// needs no synchronisation whatsoever — every subdomain runs in its own
+// goroutine, reacts to whatever messages have arrived, and nobody ever waits
+// for the slowest peer.
+type LiveOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	// Default: dtl.DiagScaled{Alpha: 1}.
+	Impedance dtl.ImpedanceStrategy
+	// TimeScale converts one topology time unit into wall-clock time, e.g.
+	// 100·time.Microsecond turns a 10 ms-unit mesh delay into 1 ms of real
+	// time. Default: 100 µs per unit.
+	TimeScale time.Duration
+	// MaxWallTime bounds the real run time. Required.
+	MaxWallTime time.Duration
+	// Tol stops the run once the largest twin disagreement falls below it
+	// (checked by the monitor at every poll). Zero disables early stopping.
+	Tol float64
+	// Exact, when non-nil, enables RMS-error traces.
+	Exact sparse.Vec
+	// PollInterval is how often the monitor samples the shared state for the
+	// trace and the stopping rule. Default: 2 ms.
+	PollInterval time.Duration
+	// RecordTrace enables the convergence history (sampled by the monitor).
+	RecordTrace bool
+}
+
+// liveShared is the state the monitor reads and the subdomain goroutines
+// write; all access goes through mu.
+type liveShared struct {
+	mu    sync.Mutex
+	x     sparse.Vec   // assembled owner values
+	ports []sparse.Vec // per part, the port potentials
+}
+
+type livePacket struct {
+	entries []waveEntry
+}
+
+// SolveLive runs DTM with one goroutine per subdomain and real (scaled)
+// communication delays. The result mirrors SolveDTM's, with FinalTime in
+// wall-clock seconds. The run is not deterministic — that is the point — but
+// by Theorem 6.1 it converges to the same solution for any interleaving.
+func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
+	if opts.MaxWallTime <= 0 {
+		return nil, fmt.Errorf("core: LiveOptions.MaxWallTime must be positive")
+	}
+	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
+		return nil, fmt.Errorf("core: LiveOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 100 * time.Microsecond
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 2 * time.Millisecond
+	}
+	strategy := opts.Impedance
+	if strategy == nil {
+		strategy = dtl.DiagScaled{Alpha: 1}
+	}
+	subs, zs, err := p.buildSubdomains(strategy)
+	if err != nil {
+		return nil, err
+	}
+	nParts := len(subs)
+	owner := p.OwnerPairs()
+	links := p.Partition.Links
+
+	shared := &liveShared{x: sparse.NewVec(p.System.Dim()), ports: make([]sparse.Vec, nParts)}
+	for i, s := range subs {
+		shared.ports[i] = sparse.NewVec(s.NumPorts())
+	}
+
+	var totalSolves, totalMessages atomic.Int64
+
+	// Degenerate single-subdomain case: one direct solve.
+	if len(links) == 0 {
+		for part, s := range subs {
+			s.Solve()
+			for _, pair := range owner[part] {
+				shared.x[pair[1]] = s.X()[pair[0]]
+			}
+		}
+		return liveResult(p, opts, shared, zs, 0, 1, 0, true), nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxWallTime)
+	defer cancel()
+
+	inboxes := make([]chan livePacket, nParts)
+	for i := range inboxes {
+		inboxes[i] = make(chan livePacket, 256)
+	}
+
+	// deliver schedules a packet to arrive at `to` after the scaled link delay.
+	// If the destination inbox is full the packet is dropped: a newer boundary
+	// condition will follow, and dropping keeps the timer goroutines from
+	// blocking forever after cancellation.
+	var timers sync.WaitGroup
+	deliver := func(from, to int, pkt livePacket) {
+		delay := time.Duration(float64(opts.TimeScale) * p.Delay(from, to))
+		timers.Add(1)
+		time.AfterFunc(delay, func() {
+			defer timers.Done()
+			select {
+			case inboxes[to] <- pkt:
+				totalMessages.Add(1)
+			default:
+			}
+		})
+	}
+
+	publish := func(part int, s *Subdomain) {
+		shared.mu.Lock()
+		for _, pair := range owner[part] {
+			shared.x[pair[1]] = s.X()[pair[0]]
+		}
+		for q := 0; q < s.NumPorts(); q++ {
+			shared.ports[part][q] = s.PortPotential(q)
+		}
+		shared.mu.Unlock()
+	}
+
+	sendAll := func(part int, s *Subdomain, initial bool) {
+		for _, remote := range s.AdjacentParts() {
+			ends := s.EndsTowards(remote)
+			entries := make([]waveEntry, 0, len(ends))
+			for _, k := range ends {
+				w := 0.0
+				if !initial {
+					w = s.OutgoingWave(k)
+				}
+				entries = append(entries, waveEntry{linkID: s.Ends()[k].LinkID, wave: w})
+			}
+			deliver(part, remote, livePacket{entries: entries})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for part := range subs {
+		wg.Add(1)
+		go func(part int, s *Subdomain) {
+			defer wg.Done()
+			sendAll(part, s, true)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case pkt := <-inboxes[part]:
+					// Drain whatever else is already waiting so a burst of
+					// messages is consumed as one batch, like the DES engine.
+					batch := []livePacket{pkt}
+				drain:
+					for {
+						select {
+						case more := <-inboxes[part]:
+							batch = append(batch, more)
+						default:
+							break drain
+						}
+					}
+					for _, b := range batch {
+						for _, en := range b.entries {
+							s.SetIncomingByLink(en.linkID, en.wave)
+						}
+					}
+					s.Solve()
+					totalSolves.Add(1)
+					publish(part, s)
+					sendAll(part, s, false)
+				}
+			}
+		}(part, subs[part])
+	}
+
+	// Monitor: samples the shared state, records the trace, and stops the run
+	// when the twin disagreement falls below Tol.
+	start := time.Now()
+	var trace []TracePoint
+	converged := false
+	ticker := time.NewTicker(opts.PollInterval)
+monitorLoop:
+	for {
+		select {
+		case <-ctx.Done():
+			break monitorLoop
+		case <-ticker.C:
+			shared.mu.Lock()
+			gap := 0.0
+			for _, l := range links {
+				d := math.Abs(shared.ports[l.PartA][l.PortA] - shared.ports[l.PartB][l.PortB])
+				if d > gap {
+					gap = d
+				}
+			}
+			rms := math.NaN()
+			if opts.Exact != nil {
+				rms = shared.x.RMSError(opts.Exact)
+			}
+			shared.mu.Unlock()
+			if opts.RecordTrace {
+				trace = append(trace, TracePoint{
+					Time:     time.Since(start).Seconds(),
+					RMSError: rms,
+					TwinGap:  gap,
+					Solves:   int(totalSolves.Load()),
+					Messages: int(totalMessages.Load()),
+				})
+			}
+			if opts.Tol > 0 && gap <= opts.Tol && totalSolves.Load() >= int64(nParts) {
+				converged = true
+				cancel()
+				break monitorLoop
+			}
+		}
+	}
+	ticker.Stop()
+	cancel()
+	wg.Wait()
+	timers.Wait()
+
+	res := liveResult(p, opts, shared, zs, time.Since(start).Seconds(), int(totalSolves.Load()), int(totalMessages.Load()), converged)
+	res.Trace = downsample(trace, 2000)
+	return res, nil
+}
+
+func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, elapsed float64, solves, messages int, converged bool) *Result {
+	shared.mu.Lock()
+	x := shared.x.Clone()
+	gap := 0.0
+	for _, l := range p.Partition.Links {
+		if d := math.Abs(shared.ports[l.PartA][l.PortA] - shared.ports[l.PartB][l.PortB]); d > gap {
+			gap = d
+		}
+	}
+	shared.mu.Unlock()
+	res := &Result{
+		X:          x,
+		Converged:  converged,
+		FinalTime:  elapsed,
+		TwinGap:    gap,
+		Solves:     solves,
+		Messages:   messages,
+		Impedances: zs,
+		RMSError:   math.NaN(),
+	}
+	if opts.Exact != nil {
+		res.RMSError = x.RMSError(opts.Exact)
+	}
+	r := p.System.A.Residual(x, p.System.B)
+	bn := p.System.B.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	res.Residual = r.Norm2() / bn
+	return res
+}

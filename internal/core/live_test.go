@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/iterative"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+func TestSolveLiveValidation(t *testing.T) {
+	prob, _ := gridProblem(t, 6, 2, nil)
+	if _, err := SolveLive(prob, LiveOptions{}); err == nil {
+		t.Errorf("a live run without MaxWallTime must be rejected")
+	}
+	if _, err := SolveLive(prob, LiveOptions{MaxWallTime: time.Second, Exact: sparse.Vec{1, 2}}); err == nil {
+		t.Errorf("a wrong-length exact vector must be rejected")
+	}
+}
+
+func TestSolveLiveConvergesOnGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live engine test skipped in -short mode")
+	}
+	sys := sparse.Poisson2D(8, 8, 0.05)
+	topo := topology.Mesh(2, 2, "small mesh", func(from, to int) float64 { return 5 + float64(from) })
+	prob, err := GridProblem(sys, 8, 8, 2, 2, topo)
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	exact, st, err := iterative.CG(sys.A, sys.B, iterative.Config{MaxIterations: 2000, Tol: 1e-13})
+	if err != nil || !st.Converged {
+		t.Fatalf("reference CG failed")
+	}
+	res, err := SolveLive(prob, LiveOptions{
+		TimeScale:    5 * time.Microsecond,
+		MaxWallTime:  10 * time.Second,
+		Tol:          1e-9,
+		Exact:        exact,
+		PollInterval: time.Millisecond,
+		RecordTrace:  true,
+	})
+	if err != nil {
+		t.Fatalf("SolveLive: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("live run did not converge within the wall-time budget (error %g)", res.RMSError)
+	}
+	if res.RMSError > 1e-6 {
+		t.Errorf("live RMS error = %g", res.RMSError)
+	}
+	if res.Residual > 1e-5 {
+		t.Errorf("live residual = %g", res.Residual)
+	}
+	if res.Solves == 0 || res.Messages == 0 {
+		t.Errorf("live run recorded no work: %+v", res)
+	}
+	if res.FinalTime <= 0 {
+		t.Errorf("live run must report a positive wall time, got %g", res.FinalTime)
+	}
+}
+
+func TestSolveLiveMatchesDESFixedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live engine test skipped in -short mode")
+	}
+	sys := sparse.RandomGridSPD(7, 7, 11)
+	topo := topology.Uniform(4, 10, "uniform")
+	prob, err := GridProblem(sys, 7, 7, 2, 2, topo)
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	des, err := SolveDTM(prob, Options{MaxTime: 20000, Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("SolveDTM: %v", err)
+	}
+	live, err := SolveLive(prob, LiveOptions{
+		TimeScale:   5 * time.Microsecond,
+		MaxWallTime: 10 * time.Second,
+		Tol:         1e-9,
+	})
+	if err != nil {
+		t.Fatalf("SolveLive: %v", err)
+	}
+	if !live.Converged {
+		t.Fatalf("live run did not converge")
+	}
+	// Both engines must land on the same solution (the exact one), even though
+	// their interleavings are completely different.
+	if !des.X.Equal(live.X, 1e-6) {
+		t.Errorf("DES and live solutions differ by %g", des.X.MaxAbsDiff(live.X))
+	}
+}

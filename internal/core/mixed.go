@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtl"
+	"repro/internal/netsim"
+	"repro/internal/sparse"
+)
+
+// MixedOptions configures the sync-async-mixed solver — the time-domain
+// "async-sync-async-sync" variant the paper's conclusions propose as a way to
+// narrow the speed gap between DTM and VTM: the computation runs fully
+// asynchronously for a window of virtual time, then performs a small number of
+// globally synchronous sweeps (every subdomain solves and all waves are
+// exchanged at a barrier), and repeats.
+type MixedOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	// Default: dtl.DiagScaled{Alpha: 1}.
+	Impedance dtl.ImpedanceStrategy
+	// MaxTime is the total virtual horizon. Required.
+	MaxTime float64
+	// AsyncWindow is the length of each asynchronous phase (virtual time).
+	// Required.
+	AsyncWindow float64
+	// SyncSweeps is the number of synchronous sweeps performed after each
+	// asynchronous window (default 1).
+	SyncSweeps int
+	// SyncSweepCost is the virtual cost charged per synchronous sweep. The
+	// default is the slowest round-trip delay between adjacent subdomains —
+	// what a barrier on that machine actually costs.
+	SyncSweepCost float64
+	// Tol stops the run once the largest twin disagreement and every
+	// subdomain's last boundary change are below it.
+	Tol float64
+	// Exact enables RMS-error traces and the StopOnError rule.
+	Exact sparse.Vec
+	// StopOnError stops the run once the RMS error reaches it (requires Exact).
+	StopOnError float64
+	// RecordTrace enables the convergence history.
+	RecordTrace bool
+	// TraceMaxPoints bounds the retained trace length (default 2000).
+	TraceMaxPoints int
+}
+
+// MixedResult is the outcome of a mixed sync/async run.
+type MixedResult struct {
+	// Result carries the same fields as a pure DTM run.
+	Result
+	// AsyncPhases and SyncSweepsDone count the work of each kind.
+	AsyncPhases, SyncSweepsDone int
+}
+
+// SolveMixed runs the sync-async-mixed variant: asynchronous DES windows
+// separated by globally synchronous sweeps, all on the problem's machine and
+// all sharing one virtual time axis. With AsyncWindow → ∞ it degenerates into
+// SolveDTM; with AsyncWindow → 0 it degenerates into VTM paying the slowest
+// round trip per sweep.
+func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
+	if opts.MaxTime <= 0 || math.IsNaN(opts.MaxTime) {
+		return nil, fmt.Errorf("core: MixedOptions.MaxTime must be positive, got %g", opts.MaxTime)
+	}
+	if opts.AsyncWindow <= 0 || math.IsNaN(opts.AsyncWindow) {
+		return nil, fmt.Errorf("core: MixedOptions.AsyncWindow must be positive, got %g", opts.AsyncWindow)
+	}
+	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
+		return nil, fmt.Errorf("core: MixedOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
+	}
+	if opts.Tol < 0 || opts.StopOnError < 0 {
+		return nil, fmt.Errorf("core: tolerances must be non-negative")
+	}
+	sweeps := opts.SyncSweeps
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+
+	// Translate into the engine's option set once; the per-window DES runs and
+	// the synchronous sweeps share the subdomains and the bookkeeping engine.
+	engineOpts := Options{
+		Impedance:      opts.Impedance,
+		MaxTime:        opts.MaxTime,
+		Tol:            opts.Tol,
+		Exact:          opts.Exact,
+		StopOnError:    opts.StopOnError,
+		RecordTrace:    opts.RecordTrace,
+		TraceMaxPoints: opts.TraceMaxPoints,
+	}
+	subs, zs, err := p.buildSubdomains(engineOpts.impedance())
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine(p, &engineOpts, subs)
+	out := &MixedResult{}
+
+	// Degenerate single-subdomain case: one solve is the answer.
+	if len(p.Partition.Links) == 0 {
+		for part, s := range subs {
+			s.Solve()
+			eng.solves++
+			eng.applyLocal(part)
+			eng.solvedOnce[part] = true
+			eng.lastChange[part] = 0
+		}
+		eng.record(0)
+		out.Result = *finish(eng, zs, 0, 0, true)
+		return out, nil
+	}
+
+	syncCost := opts.SyncSweepCost
+	if syncCost <= 0 {
+		syncCost = slowestAdjacentRoundTrip(p)
+	}
+	compute := engineOpts.computeTimeFn(p)
+
+	now := 0.0
+	delivered := 0
+	links := p.Partition.Links
+	for now < opts.MaxTime && !eng.converged {
+		// Asynchronous phase: a DES window over the remaining budget.
+		window := math.Min(opts.AsyncWindow, opts.MaxTime-now)
+		nodes := make([]netsim.Node, len(subs))
+		for i, s := range subs {
+			node := newDTMNode(eng, s, compute)
+			node.warmStart = out.AsyncPhases > 0 || out.SyncSweepsDone > 0
+			nodes[i] = node
+		}
+		eng.timeOffset = now
+		sim := netsim.New(nodes, func(from, to int) float64 { return p.Delay(from, to) })
+		sim.SetObserver(func(t float64, node int) { eng.record(t) })
+		sim.SetStopCondition(func(t float64) bool { return eng.shouldStop() })
+		stats := sim.Run(window)
+		delivered += stats.Messages
+		now += math.Min(window, stats.Time)
+		out.AsyncPhases++
+		if eng.converged || now >= opts.MaxTime {
+			break
+		}
+
+		// Synchronous phase: VTM-style sweeps at a barrier, each one charged the
+		// slowest round trip of the machine.
+		for s := 0; s < sweeps && now < opts.MaxTime && !eng.converged; s++ {
+			for part, sub := range subs {
+				eng.lastChange[part] = sub.Solve()
+				eng.solvedOnce[part] = true
+				eng.solves++
+				eng.applyLocal(part)
+			}
+			// Simultaneous wave exchange over every link, both directions.
+			type pending struct {
+				sub  *Subdomain
+				link int
+				wave float64
+			}
+			var updates []pending
+			for _, sub := range subs {
+				ends := sub.Ends()
+				for k := range ends {
+					updates = append(updates, pending{
+						sub:  subs[ends[k].Remote],
+						link: ends[k].LinkID,
+						wave: sub.OutgoingWave(k),
+					})
+				}
+			}
+			for _, u := range updates {
+				u.sub.SetIncomingByLink(u.link, u.wave)
+			}
+			eng.messages += 2 * len(links)
+			delivered += 2 * len(links)
+			now += syncCost
+			out.SyncSweepsDone++
+			eng.timeOffset = 0
+			eng.record(now)
+			if eng.shouldStop() {
+				break
+			}
+		}
+	}
+
+	out.Result = *finish(eng, zs, math.Min(now, opts.MaxTime), delivered, eng.converged)
+	return out, nil
+}
+
+// slowestAdjacentRoundTrip returns the largest delay(a→b)+delay(b→a) over
+// pairs of adjacent subdomains — the per-sweep price of a global barrier on
+// the problem's machine.
+func slowestAdjacentRoundTrip(p *Problem) float64 {
+	worst := 0.0
+	for a, neighbours := range p.Partition.AdjacentParts() {
+		for _, b := range neighbours {
+			if rt := p.Delay(a, b) + p.Delay(b, a); rt > worst {
+				worst = rt
+			}
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return worst
+}

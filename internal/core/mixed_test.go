@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+func TestMixedOptionsValidation(t *testing.T) {
+	prob, exact := gridProblem(t, 6, 2, nil)
+	cases := map[string]MixedOptions{
+		"zero MaxTime":     {AsyncWindow: 10},
+		"zero AsyncWindow": {MaxTime: 100},
+		"NaN window":       {MaxTime: 100, AsyncWindow: math.NaN()},
+		"bad exact":        {MaxTime: 100, AsyncWindow: 10, Exact: sparse.Vec{1}},
+		"negative tol":     {MaxTime: 100, AsyncWindow: 10, Tol: -1},
+	}
+	for name, opts := range cases {
+		if _, err := SolveMixed(prob, opts); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	_ = exact
+}
+
+func TestMixedConvergesAndAlternatesPhases(t *testing.T) {
+	topo := topology.Mesh4x4Paper()
+	sys := sparse.Poisson2D(9, 9, 0.05)
+	prob, err := GridProblem(sys, 9, 9, 4, 4, topo)
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	exact, err := dense.SolveExact(sys.A, sys.B)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	res, err := SolveMixed(prob, MixedOptions{
+		MaxTime:     30000,
+		AsyncWindow: 400,
+		SyncSweeps:  1,
+		Exact:       exact,
+		StopOnError: 1e-7,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("SolveMixed: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("mixed run did not converge (error %g)", res.RMSError)
+	}
+	if res.RMSError > 2e-7 || res.Residual > 1e-5 {
+		t.Errorf("mixed error %g residual %g", res.RMSError, res.Residual)
+	}
+	if res.AsyncPhases < 1 || res.SyncSweepsDone < 1 {
+		t.Errorf("expected both asynchronous and synchronous work, got %d phases and %d sweeps",
+			res.AsyncPhases, res.SyncSweepsDone)
+	}
+	if res.Solves == 0 || res.Messages == 0 {
+		t.Errorf("no work recorded: %+v", res.Result)
+	}
+	// The stitched trace must stay on a single non-decreasing time axis.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time+1e-9 < res.Trace[i-1].Time {
+			t.Errorf("trace time went backwards at %d: %g after %g", i, res.Trace[i].Time, res.Trace[i-1].Time)
+		}
+	}
+}
+
+func TestMixedMatchesDTMAndVTMFixedPoint(t *testing.T) {
+	prob, exact := gridProblem(t, 8, 2, nil)
+	mixed, err := SolveMixed(prob, MixedOptions{
+		MaxTime:     30000,
+		AsyncWindow: 300,
+		SyncSweeps:  2,
+		Tol:         1e-10,
+		Exact:       exact,
+	})
+	if err != nil {
+		t.Fatalf("SolveMixed: %v", err)
+	}
+	if !mixed.Converged {
+		t.Fatalf("mixed run did not converge")
+	}
+	if !mixed.X.Equal(exact, 1e-6) {
+		t.Errorf("mixed solution error %g", mixed.X.MaxAbsDiff(exact))
+	}
+}
+
+func TestMixedSingleSubdomainDegenerates(t *testing.T) {
+	sys := sparse.Poisson2D(4, 4, 0.05)
+	prob, err := GridProblem(sys, 4, 4, 1, 1, topology.Uniform(1, 1, "one"))
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	res, err := SolveMixed(prob, MixedOptions{MaxTime: 10, AsyncWindow: 5})
+	if err != nil {
+		t.Fatalf("SolveMixed: %v", err)
+	}
+	if !res.Converged || res.Solves != 1 {
+		t.Errorf("single-subdomain mixed run must converge with one solve: %+v", res.Result)
+	}
+}

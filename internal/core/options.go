@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtl"
+	"repro/internal/sparse"
+)
+
+// Options configures a DTM run on the discrete-event simulator (and, with the
+// fields that apply, the live goroutine engine).
+type Options struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	// Default: dtl.DiagScaled{Alpha: 1}.
+	Impedance dtl.ImpedanceStrategy
+
+	// MaxTime is the virtual time horizon of the run (same unit as the
+	// topology's delays). Required.
+	MaxTime float64
+
+	// Tol, when positive, stops the run early once the computation has
+	// quiesced in the distributed sense: every subdomain has solved at least
+	// once, the last local solve of every subdomain moved its boundary
+	// potentials by less than Tol, and the largest twin disagreement is below
+	// Tol.
+	Tol float64
+
+	// Exact, when non-nil, is the exact solution used for RMS-error traces.
+	Exact sparse.Vec
+
+	// StopOnError, when positive and Exact is supplied, stops the run as soon
+	// as the RMS error drops to or below this value.
+	StopOnError float64
+
+	// ComputeTime models the local solve time of a subdomain (virtual time).
+	// When nil, each solve takes 5% of the smallest communication delay, which
+	// keeps the processors busy a realistic fraction of the time and bounds
+	// the message rate.
+	ComputeTime func(part, dim int) float64
+
+	// SendThreshold suppresses messages to a neighbour when none of the waves
+	// toward it changed by more than this amount since the last send. Zero
+	// means every solve broadcasts to all neighbours (the paper's Table 1
+	// behaviour); a small positive value lets a converged computation go
+	// quiet on its own.
+	SendThreshold float64
+
+	// Observer, when non-nil, is invoked after every local solve with the
+	// virtual completion time, the part that solved, and its local solution
+	// vector [u_ports; y_inner] (a live buffer — copy it if it must be kept).
+	// Experiments use it to record individual port potentials (Fig. 8).
+	Observer func(now float64, part int, local sparse.Vec)
+
+	// RecordTrace enables the convergence-history trace.
+	RecordTrace bool
+
+	// TraceMaxPoints bounds the number of retained trace points (default 2000).
+	TraceMaxPoints int
+}
+
+func (o *Options) validate(p *Problem) error {
+	if o.MaxTime <= 0 || math.IsNaN(o.MaxTime) {
+		return fmt.Errorf("core: Options.MaxTime must be positive, got %g", o.MaxTime)
+	}
+	if o.Exact != nil && len(o.Exact) != p.System.Dim() {
+		return fmt.Errorf("core: Options.Exact has length %d, want %d", len(o.Exact), p.System.Dim())
+	}
+	if o.Tol < 0 || o.StopOnError < 0 || o.SendThreshold < 0 {
+		return fmt.Errorf("core: tolerances must be non-negative")
+	}
+	return nil
+}
+
+func (o *Options) impedance() dtl.ImpedanceStrategy {
+	if o.Impedance == nil {
+		return dtl.DiagScaled{Alpha: 1}
+	}
+	return o.Impedance
+}
+
+func (o *Options) traceMax() int {
+	if o.TraceMaxPoints <= 0 {
+		return 2000
+	}
+	return o.TraceMaxPoints
+}
+
+// computeTimeFn resolves the compute-time model, defaulting to 5% of the
+// smallest inter-subdomain delay of the problem.
+func (o *Options) computeTimeFn(p *Problem) func(part, dim int) float64 {
+	if o.ComputeTime != nil {
+		return o.ComputeTime
+	}
+	minDelay := math.Inf(1)
+	adj := p.Partition.AdjacentParts()
+	for a, neighbours := range adj {
+		for _, b := range neighbours {
+			if d := p.Delay(a, b); d < minDelay {
+				minDelay = d
+			}
+		}
+	}
+	if math.IsInf(minDelay, 1) {
+		minDelay = 1
+	}
+	ct := 0.05 * minDelay
+	return func(part, dim int) float64 { return ct }
+}

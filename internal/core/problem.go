@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dtl"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// Problem bundles everything a DTM run needs: the original system, its EVS
+// partition, the machine it runs on, and the mapping of subdomains onto
+// processors.
+type Problem struct {
+	// System is the original SPD system A·x = b.
+	System sparse.System
+	// Partition is the EVS decomposition of the system's electric graph.
+	Partition *partition.Result
+	// Topology is the parallel machine (processors and directed link delays).
+	Topology *topology.Topology
+	// ProcMap maps subdomain index to processor index; nil means identity.
+	ProcMap []int
+}
+
+// NewProblem assembles a Problem from an already computed partition. It
+// validates that the machine has enough processors and that the process map
+// (identity when nil) is well formed.
+func NewProblem(sys sparse.System, part *partition.Result, topo *topology.Topology, procMap []int) (*Problem, error) {
+	if part == nil || topo == nil {
+		return nil, fmt.Errorf("core: NewProblem requires a partition and a topology")
+	}
+	if part.Dim() != sys.Dim() {
+		return nil, fmt.Errorf("core: partition is over %d vertices but the system has %d unknowns", part.Dim(), sys.Dim())
+	}
+	n := part.NumParts()
+	if procMap == nil {
+		if topo.N() < n {
+			return nil, fmt.Errorf("core: %d subdomains but the machine has only %d processors", n, topo.N())
+		}
+		procMap = make([]int, n)
+		for i := range procMap {
+			procMap[i] = i
+		}
+	} else {
+		if len(procMap) != n {
+			return nil, fmt.Errorf("core: process map covers %d subdomains, want %d", len(procMap), n)
+		}
+		for s, p := range procMap {
+			if p < 0 || p >= topo.N() {
+				return nil, fmt.Errorf("core: subdomain %d mapped to processor %d, out of range [0,%d)", s, p, topo.N())
+			}
+		}
+	}
+	return &Problem{System: sys, Partition: part, Topology: topo, ProcMap: procMap}, nil
+}
+
+// AutoProblem is the convenience constructor used by the examples and the CLI:
+// it builds the electric graph of the system, partitions it into parts pieces
+// with the BFS level-set partitioner, applies EVS with the default
+// (dominance-proportional) splitting and maps subdomain i onto processor i.
+func AutoProblem(sys sparse.System, parts int, topo *topology.Topology) (*Problem, error) {
+	g, err := graph.FromSystem(sys.A, sys.B)
+	if err != nil {
+		return nil, fmt.Errorf("core: building electric graph: %w", err)
+	}
+	assign := partition.LevelSetGrow(g, parts)
+	res, err := partition.EVS(g, assign, partition.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: EVS: %w", err)
+	}
+	return NewProblem(sys, res, topo, nil)
+}
+
+// GridProblem partitions an nx×ny grid-structured system (vertex ix + iy*nx)
+// into a px×py block grid of subdomains — the "regular partitioning with
+// level-one and level-two mixed EVS" of the paper's Section 7 — and maps block
+// (bx, by) onto processor bx + by*px of the topology, so that subdomain
+// adjacency coincides with mesh adjacency.
+func GridProblem(sys sparse.System, nx, ny, px, py int, topo *topology.Topology) (*Problem, error) {
+	if nx*ny != sys.Dim() {
+		return nil, fmt.Errorf("core: grid %dx%d has %d vertices but the system has %d unknowns", nx, ny, nx*ny, sys.Dim())
+	}
+	g, err := graph.FromSystem(sys.A, sys.B)
+	if err != nil {
+		return nil, fmt.Errorf("core: building electric graph: %w", err)
+	}
+	assign := partition.GridBlocks(nx, ny, px, py)
+	res, err := partition.EVS(g, assign, partition.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: EVS: %w", err)
+	}
+	return NewProblem(sys, res, topo, nil)
+}
+
+// Delay returns the communication delay from subdomain a to subdomain b on
+// the problem's machine (the algorithm–architecture delay mapping: the DTL
+// from a to b gets exactly this propagation delay).
+func (p *Problem) Delay(a, b int) float64 {
+	return p.Topology.Delay(p.ProcMap[a], p.ProcMap[b])
+}
+
+// OwnerPairs returns, for each part, the (local index, global index) pairs the
+// part is the owner of: its inner vertices plus the split-vertex copies whose
+// original vertex is assigned to it. Every global vertex has exactly one
+// owner, so writing owner values into a global vector assembles a solution
+// estimate without double counting. Both the DES and the live engine maintain
+// their assembled solutions through this map.
+func (p *Problem) OwnerPairs() [][][2]int {
+	assign := p.Partition.Assign.Assign
+	owner := make([][][2]int, p.Partition.NumParts())
+	for part, ps := range p.Partition.Subdomains {
+		for li, gv := range ps.GlobalIdx {
+			if li >= ps.NumPorts || assign[gv] == part {
+				owner[part] = append(owner[part], [2]int{li, gv})
+			}
+		}
+	}
+	return owner
+}
+
+// buildSubdomains instantiates the per-part DTM solvers with the impedances
+// chosen by the strategy. It is shared by the DES, VTM and live engines.
+func (p *Problem) buildSubdomains(strategy dtl.ImpedanceStrategy) ([]*Subdomain, []float64, error) {
+	zs, err := dtl.Assign(p.Partition, strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	subs := make([]*Subdomain, p.Partition.NumParts())
+	for i, ps := range p.Partition.Subdomains {
+		sd, err := NewSubdomain(ps, p.Partition.LinksOfPart(i), zs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building subdomain %d: %w", i, err)
+		}
+		subs[i] = sd
+	}
+	return subs, zs, nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// LinkEnd is one endpoint of a DTLP as seen from inside a subdomain: the local
+// port it terminates on, the remote subdomain the matching endpoint lives in,
+// and the characteristic impedance shared by both directions of the pair.
+type LinkEnd struct {
+	// LinkID is the global id of the twin link (partition.TwinLink.ID).
+	LinkID int
+	// Port is the local port index the line terminates on.
+	Port int
+	// Remote is the part at the other end of the line.
+	Remote int
+	// Z is the characteristic impedance of the pair (strictly positive).
+	Z float64
+}
+
+// localSolver is the factor-once/solve-many interface shared by the Cholesky
+// and LU factorisations of the local system.
+type localSolver interface {
+	SolveTo(x, b sparse.Vec)
+}
+
+// Subdomain is the per-processor state of DTM: the factorised local system of
+// equation (5.9), the incident DTL endpoints, the latest incoming waves
+// (remote boundary conditions) and the latest local solution.
+//
+// Subdomain is not safe for concurrent use by itself; the DES engine calls it
+// from a single goroutine and the live engine confines each Subdomain to the
+// goroutine of its processor.
+type Subdomain struct {
+	part      int
+	numPorts  int
+	globalIdx []int
+
+	solver  localSolver
+	baseRHS sparse.Vec
+
+	ends      []LinkEnd
+	endByLink map[int]int
+	invZ      []float64 // 1/Z per end
+
+	// incoming[k] is the latest received wave on end k:
+	//   r_k = u_twin(t-τ) − Z·ω_twin(t-τ)
+	incoming []float64
+
+	x      sparse.Vec // latest local solution [u; y]
+	rhs    sparse.Vec // scratch right-hand side
+	solves int
+	spd    bool // whether the local matrix was Cholesky-factorisable
+}
+
+// NewSubdomain builds the DTM subdomain for one EVS subgraph. links must be
+// the twin links incident to sub.Part (in any order) and z the characteristic
+// impedance per link ID (indexed by TwinLink.ID over the whole partition).
+//
+// The local coefficient matrix is A_local + Σ_ends (1/Z) e_p e_pᵀ — constant
+// throughout the computation — and is factorised here once: by Cholesky when
+// it is SPD, falling back to LU with partial pivoting otherwise.
+func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []float64) (*Subdomain, error) {
+	s := &Subdomain{
+		part:      sub.Part,
+		numPorts:  sub.NumPorts,
+		globalIdx: append([]int(nil), sub.GlobalIdx...),
+		baseRHS:   sub.B.Clone(),
+		endByLink: make(map[int]int),
+		x:         sparse.NewVec(sub.Dim()),
+		rhs:       sparse.NewVec(sub.Dim()),
+	}
+
+	// Collect the DTL endpoints that terminate in this part.
+	diagAdd := sparse.NewVec(sub.Dim())
+	for _, l := range links {
+		if l.PartA != sub.Part && l.PartB != sub.Part {
+			return nil, fmt.Errorf("core: link %d does not touch part %d", l.ID, sub.Part)
+		}
+		if l.ID < 0 || l.ID >= len(z) {
+			return nil, fmt.Errorf("core: no impedance for link %d", l.ID)
+		}
+		zl := z[l.ID]
+		if !(zl > 0) || math.IsNaN(zl) || math.IsInf(zl, 0) {
+			return nil, fmt.Errorf("core: impedance of link %d must be positive, got %g", l.ID, zl)
+		}
+		var port, remote int
+		if l.PartA == sub.Part {
+			port, remote = l.PortA, l.PartB
+		} else {
+			port, remote = l.PortB, l.PartA
+		}
+		if port < 0 || port >= sub.NumPorts {
+			return nil, fmt.Errorf("core: link %d terminates on local index %d which is not a port of part %d", l.ID, port, sub.Part)
+		}
+		end := LinkEnd{LinkID: l.ID, Port: port, Remote: remote, Z: zl}
+		s.endByLink[l.ID] = len(s.ends)
+		s.ends = append(s.ends, end)
+		s.invZ = append(s.invZ, 1/zl)
+		diagAdd[port] += 1 / zl
+	}
+	s.incoming = make([]float64, len(s.ends))
+
+	// Build and factorise the constant local matrix of eq. (5.9).
+	local := sub.A.AddDiag(diagAdd)
+	if chol, err := dense.NewCholeskyCSR(local); err == nil {
+		s.solver = chol
+		s.spd = true
+	} else if errors.Is(err, dense.ErrNotPositiveDefinite) {
+		lu, luErr := dense.NewLUCSR(local)
+		if luErr != nil {
+			return nil, fmt.Errorf("core: local system of part %d is singular: %w", sub.Part, luErr)
+		}
+		s.solver = lu
+	} else {
+		return nil, fmt.Errorf("core: factorising local system of part %d: %w", sub.Part, err)
+	}
+	return s, nil
+}
+
+// Part returns the subdomain (part) index.
+func (s *Subdomain) Part() int { return s.part }
+
+// Dim returns the number of local unknowns.
+func (s *Subdomain) Dim() int { return len(s.globalIdx) }
+
+// NumPorts returns the number of local ports.
+func (s *Subdomain) NumPorts() int { return s.numPorts }
+
+// GlobalIdx returns the mapping from local index to global vertex id.
+func (s *Subdomain) GlobalIdx() []int { return s.globalIdx }
+
+// Ends returns the DTL endpoints terminating in this subdomain.
+func (s *Subdomain) Ends() []LinkEnd { return s.ends }
+
+// Solves returns how many local solves have been performed.
+func (s *Subdomain) Solves() int { return s.solves }
+
+// IsSPD reports whether the local system was Cholesky-factorisable.
+func (s *Subdomain) IsSPD() bool { return s.spd }
+
+// X returns the latest local solution [u_ports; y_inner]. The returned slice
+// is the live buffer; callers that need a stable copy must Clone it.
+func (s *Subdomain) X() sparse.Vec { return s.x }
+
+// SetIncomingByLink records a freshly received wave r = u_twin − Z·ω_twin for
+// the end attached to the given link. It reports whether the link terminates
+// in this subdomain.
+func (s *Subdomain) SetIncomingByLink(linkID int, wave float64) bool {
+	k, ok := s.endByLink[linkID]
+	if !ok {
+		return false
+	}
+	s.incoming[k] = wave
+	return true
+}
+
+// Incoming returns the latest received wave on end k.
+func (s *Subdomain) Incoming(k int) float64 { return s.incoming[k] }
+
+// Solve re-solves the local system with the current incoming waves and returns
+// the largest absolute change of any port potential relative to the previous
+// solution. It performs only a forward/backward substitution — the
+// factorisation was done once in NewSubdomain.
+func (s *Subdomain) Solve() float64 {
+	s.rhs.CopyFrom(s.baseRHS)
+	for k, e := range s.ends {
+		// f_p + (1/Z)·(u_twin − Z·ω_twin)(t−τ), the right-hand side of (5.9).
+		s.rhs[e.Port] += s.invZ[k] * s.incoming[k]
+	}
+	prev := make([]float64, s.numPorts)
+	copy(prev, s.x[:s.numPorts])
+	s.solver.SolveTo(s.x, s.rhs)
+	s.solves++
+	var change float64
+	for p := 0; p < s.numPorts; p++ {
+		if d := math.Abs(s.x[p] - prev[p]); d > change {
+			change = d
+		}
+	}
+	return change
+}
+
+// PortPotential returns the latest potential of local port p.
+func (s *Subdomain) PortPotential(p int) float64 { return s.x[p] }
+
+// EndCurrent returns the inflow current carried by end k with the latest local
+// solution: ω_k = (r_k − u_p)/Z.
+func (s *Subdomain) EndCurrent(k int) float64 {
+	e := s.ends[k]
+	return (s.incoming[k] - s.x[e.Port]) * s.invZ[k]
+}
+
+// PortCurrent returns the total inflow current of local port p (the sum over
+// the DTL endpoints terminating on it).
+func (s *Subdomain) PortCurrent(p int) float64 {
+	var w float64
+	for k, e := range s.ends {
+		if e.Port == p {
+			w += s.EndCurrent(k)
+		}
+	}
+	return w
+}
+
+// OutgoingWave returns the wave to send down end k after the latest solve.
+// The remote twin's delay equation (2.2) reads
+//
+//	u_twin(t) + Z·ω_twin(t) = u_p(t−τ) − Z·ω_k(t−τ)
+//
+// so the value this side must transmit is u_p − Z·ω_k, with ω_k the inflow
+// current this line carries into the local port. Since ω_k = (r_k − u_p)/Z,
+// the outgoing wave simplifies to 2·u_p − r_k (the port potential reflected
+// against the incident wave, as in classic scattering formulations).
+func (s *Subdomain) OutgoingWave(k int) float64 {
+	e := s.ends[k]
+	return 2*s.x[e.Port] - s.incoming[k]
+}
+
+// EndsTowards returns the indices of the ends whose remote part is the given
+// part, in increasing end order.
+func (s *Subdomain) EndsTowards(remote int) []int {
+	var out []int
+	for k, e := range s.ends {
+		if e.Remote == remote {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// AdjacentParts returns the sorted set of remote parts this subdomain shares a
+// DTLP with.
+func (s *Subdomain) AdjacentParts() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range s.ends {
+		if !seen[e.Remote] {
+			seen[e.Remote] = true
+			out = append(out, e.Remote)
+		}
+	}
+	// ends are built in link-ID order; sort for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Reset restores the subdomain to the paper's initial condition (5.6):
+// zero potentials, zero currents, zero incoming waves.
+func (s *Subdomain) Reset() {
+	s.x.Zero()
+	for k := range s.incoming {
+		s.incoming[k] = 0
+	}
+	s.solves = 0
+}

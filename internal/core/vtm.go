@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dtl"
+	"repro/internal/sparse"
+)
+
+// VTMOptions configures a run of the Virtual Transmission Method — the
+// synchronous, discrete-time special case of DTM obtained by giving every DTL
+// a propagation delay of exactly one time unit and running the subdomains in
+// lock-step (equation (5.10) in the paper).
+type VTMOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	// Default: dtl.DiagScaled{Alpha: 1}.
+	Impedance dtl.ImpedanceStrategy
+	// MaxIterations bounds the number of synchronous sweeps. Required.
+	MaxIterations int
+	// Tol stops the iteration once the largest twin disagreement and the
+	// largest boundary-potential change both fall below it.
+	Tol float64
+	// Exact, when non-nil, enables RMS-error traces and the StopOnError rule.
+	Exact sparse.Vec
+	// StopOnError stops as soon as the RMS error reaches this value (requires
+	// Exact).
+	StopOnError float64
+	// RecordTrace enables the per-iteration convergence history.
+	RecordTrace bool
+}
+
+// VTMResult is the outcome of a VTM run.
+type VTMResult struct {
+	// X is the assembled global solution.
+	X sparse.Vec
+	// Iterations is the number of synchronous sweeps performed.
+	Iterations int
+	// Converged reports whether a stopping rule fired before MaxIterations.
+	Converged bool
+	// RMSError is the final RMS error against Exact (NaN when unknown).
+	RMSError float64
+	// TwinGap is the final maximum twin disagreement.
+	TwinGap float64
+	// Residual is the final relative residual.
+	Residual float64
+	// Trace is the per-iteration history (Time holds the iteration index).
+	Trace []TracePoint
+	// Impedances holds the characteristic impedance per twin link.
+	Impedances []float64
+}
+
+// SolveVTM runs the Virtual Transmission Method: in every iteration all
+// subdomains solve their local systems with the waves received at the end of
+// the previous iteration and then exchange waves simultaneously. It is the
+// globally synchronous reference point that the paper's conclusions compare
+// DTM against.
+func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
+	if opts.MaxIterations <= 0 {
+		return nil, fmt.Errorf("core: VTMOptions.MaxIterations must be positive, got %d", opts.MaxIterations)
+	}
+	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
+		return nil, fmt.Errorf("core: VTMOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
+	}
+	strategy := opts.Impedance
+	if strategy == nil {
+		strategy = dtl.DiagScaled{Alpha: 1}
+	}
+	subs, zs, err := p.buildSubdomains(strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	links := p.Partition.Links
+	res := &VTMResult{Impedances: zs, RMSError: math.NaN()}
+
+	assemble := func() sparse.Vec {
+		locals := make([]sparse.Vec, len(subs))
+		for i, s := range subs {
+			locals[i] = s.X()
+		}
+		return p.Partition.AssembleOwner(locals)
+	}
+	twinGap := func() float64 {
+		var m float64
+		for _, l := range links {
+			d := math.Abs(subs[l.PartA].PortPotential(l.PortA) - subs[l.PartB].PortPotential(l.PortB))
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+
+	for it := 1; it <= opts.MaxIterations; it++ {
+		// Synchronous sweep: every subdomain solves with last iteration's waves.
+		maxChange := 0.0
+		for _, s := range subs {
+			if c := s.Solve(); c > maxChange {
+				maxChange = c
+			}
+		}
+		// Simultaneous exchange: every link carries the new waves both ways.
+		type pending struct {
+			sub  *Subdomain
+			link int
+			wave float64
+		}
+		var updates []pending
+		for _, s := range subs {
+			for k := range s.Ends() {
+				updates = append(updates, pending{
+					sub:  subs[s.Ends()[k].Remote],
+					link: s.Ends()[k].LinkID,
+					wave: s.OutgoingWave(k),
+				})
+			}
+		}
+		for _, u := range updates {
+			u.sub.SetIncomingByLink(u.link, u.wave)
+		}
+
+		res.Iterations = it
+		gap := twinGap()
+		var rms float64 = math.NaN()
+		if opts.Exact != nil {
+			rms = assemble().RMSError(opts.Exact)
+		}
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, TracePoint{
+				Time:     float64(it),
+				RMSError: rms,
+				TwinGap:  gap,
+				Solves:   it * len(subs),
+				Messages: it * len(links) * 2,
+			})
+		}
+		if opts.StopOnError > 0 && !math.IsNaN(rms) && rms <= opts.StopOnError {
+			res.Converged = true
+			break
+		}
+		if opts.Tol > 0 && gap <= opts.Tol && maxChange <= opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.X = assemble()
+	res.TwinGap = twinGap()
+	if opts.Exact != nil {
+		res.RMSError = res.X.RMSError(opts.Exact)
+	}
+	r := p.System.A.Residual(res.X, p.System.B)
+	bn := p.System.B.Norm2()
+	if bn == 0 {
+		bn = 1
+	}
+	res.Residual = r.Norm2() / bn
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorisation encounters
+// a non-positive pivot, i.e. the matrix is not (numerically) SPD.
+var ErrNotPositiveDefinite = errors.New("dense: matrix is not positive definite")
+
+// Cholesky is the lower-triangular factor L of an SPD matrix A = L Lᵀ.
+// The factor-once / solve-many pattern of DTM's local systems (eq. 5.9 in the
+// paper) is exactly what this type provides.
+type Cholesky struct {
+	n int
+	l *Matrix
+}
+
+// NewCholesky factorises the SPD matrix a. It returns ErrNotPositiveDefinite
+// when a pivot is not strictly positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("dense: Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal entry.
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// NewCholeskyCSR factorises a sparse SPD matrix by densifying it first; the
+// local DTM subsystems are small enough (n / #subdomains) that this is the
+// pragmatic choice and keeps the dependency graph simple.
+func NewCholeskyCSR(a *sparse.CSR) (*Cholesky, error) {
+	return NewCholesky(FromCSR(a))
+}
+
+// Dim returns the dimension of the factorised matrix.
+func (c *Cholesky) Dim() int { return c.n }
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Solve solves A x = b using the precomputed factor (forward then backward
+// substitution) and returns x.
+func (c *Cholesky) Solve(b sparse.Vec) sparse.Vec {
+	x := sparse.NewVec(c.n)
+	c.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A x = b into the provided x.
+func (c *Cholesky) SolveTo(x, b sparse.Vec) {
+	if len(b) != c.n || len(x) != c.n {
+		panic(fmt.Sprintf("dense: Cholesky.Solve dimension mismatch n=%d len(b)=%d len(x)=%d", c.n, len(b), len(x)))
+	}
+	// Forward substitution: L y = b (y stored in x).
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	// Backward substitution: Lᵀ x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+}
+
+// LogDet returns the natural logarithm of det(A) = 2*sum(log L_ii).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// IsSPD reports whether the symmetric matrix a is numerically positive
+// definite (its Cholesky factorisation succeeds).
+func IsSPD(a *Matrix) bool {
+	_, err := NewCholesky(a)
+	return err == nil
+}
+
+// IsSNND reports whether the symmetric matrix a is symmetric non-negative
+// definite within tolerance tol: the Cholesky factorisation of a + tol*I must
+// succeed. The paper's Theorem 6.1 requires every non-SPD subgraph to be SNND.
+func IsSNND(a *Matrix, tol float64) bool {
+	if a.Rows() != a.Cols() {
+		return false
+	}
+	shifted := a.Clone()
+	for i := 0; i < a.Rows(); i++ {
+		shifted.Addf(i, i, tol)
+	}
+	return IsSPD(shifted)
+}

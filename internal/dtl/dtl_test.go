@@ -1,0 +1,221 @@
+package dtl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func TestDTLValidate(t *testing.T) {
+	good := DTL{Z: 0.5, Delay: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid DTL rejected: %v", err)
+	}
+	for _, bad := range []DTL{
+		{Z: 0, Delay: 1},
+		{Z: -1, Delay: 1},
+		{Z: 1, Delay: 0},
+		{Z: 1, Delay: -2},
+		{Z: math.NaN(), Delay: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("DTL %+v must be rejected", bad)
+		}
+	}
+}
+
+func TestDTLDelayEquationIdentity(t *testing.T) {
+	// The directed transmission delay equation (2.1):
+	// U_out(t) + Z·I_out(t) = U_in(t−τ) − Z·I_in(t−τ).
+	d := DTL{Z: 0.2, Delay: 6.7}
+	uIn, iIn := 1.5, -0.3
+	wave := d.IncidentWave(uIn, iIn)
+	if math.Abs(wave-(uIn-d.Z*iIn)) > 1e-15 {
+		t.Errorf("IncidentWave = %g, want %g", wave, uIn-d.Z*iIn)
+	}
+	uOut := 0.9
+	iOut := d.ReflectedCurrent(uOut, wave)
+	// These values must satisfy the delay equation exactly.
+	if r := d.Residual(uOut, iOut, uIn, iIn); math.Abs(r) > 1e-14 {
+		t.Errorf("delay-equation residual = %g, want 0", r)
+	}
+	// And a perturbed current must not.
+	if r := d.Residual(uOut, iOut+0.1, uIn, iIn); math.Abs(r) < 1e-6 {
+		t.Errorf("perturbed values still satisfy the equation (residual %g)", r)
+	}
+}
+
+func TestPairValidateAndSymmetry(t *testing.T) {
+	p := Pair{Z: 0.1, Delay1To2: 6.7, Delay2To1: 2.9}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+	if p.IsSymmetric() {
+		t.Errorf("asymmetric delays misreported as symmetric")
+	}
+	sym := Pair{Z: 1, Delay1To2: 3, Delay2To1: 3}
+	if !sym.IsSymmetric() {
+		t.Errorf("a physical transmission line (equal delays) must be symmetric")
+	}
+	for _, bad := range []Pair{
+		{Z: 0, Delay1To2: 1, Delay2To1: 1},
+		{Z: 1, Delay1To2: 0, Delay2To1: 1},
+		{Z: 1, Delay1To2: 1, Delay2To1: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("pair %+v must be rejected", bad)
+		}
+	}
+}
+
+func TestPairForwardBackward(t *testing.T) {
+	p := Pair{Z: 0.25, Delay1To2: 5, Delay2To1: 7}
+	f, b := p.Forward(), p.Backward()
+	if f.Z != 0.25 || b.Z != 0.25 {
+		t.Errorf("both directions must share the impedance")
+	}
+	if f.Delay != 5 || b.Delay != 7 {
+		t.Errorf("directional delays wrong: forward %g, backward %g", f.Delay, b.Delay)
+	}
+}
+
+func TestPairFixedPoint(t *testing.T) {
+	p := Pair{Z: 0.3, Delay1To2: 1, Delay2To1: 2}
+	// At a true fixed point the twin potentials agree and the currents cancel.
+	gap, sum := p.FixedPoint(1.2, 0.4, 1.2, -0.4)
+	if math.Abs(gap) > 1e-15 || math.Abs(sum) > 1e-15 {
+		t.Errorf("fixed point residuals = %g, %g, want 0, 0", gap, sum)
+	}
+	gap, sum = p.FixedPoint(1.2, 0.4, 1.0, -0.3)
+	if math.Abs(gap) < 1e-12 || math.Abs(sum) < 1e-12 {
+		t.Errorf("non-fixed-point values must have non-zero residuals")
+	}
+}
+
+// Property: for any positive Z, ReflectedCurrent inverts the delay equation:
+// plugging the returned current back satisfies Residual ≈ 0, and the steady
+// state of a DTLP (both equations, time-independent) forces equal potentials.
+func TestDTLScatteringProperty(t *testing.T) {
+	f := func(rawZ, uIn, iIn, uOut float64) bool {
+		z := 0.01 + math.Abs(math.Mod(rawZ, 100))
+		for _, v := range []float64{uIn, iIn, uOut} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		uIn = math.Mod(uIn, 1e6)
+		iIn = math.Mod(iIn, 1e6)
+		uOut = math.Mod(uOut, 1e6)
+		d := DTL{Z: z, Delay: 1}
+		wave := d.IncidentWave(uIn, iIn)
+		iOut := d.ReflectedCurrent(uOut, wave)
+		scale := math.Max(1, math.Abs(wave))
+		return math.Abs(d.Residual(uOut, iOut, uIn, iIn)) < 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// paperResult builds the EVS result of the paper example with default splits,
+// used to exercise the impedance strategies on real twin links.
+func paperResult(t *testing.T) *partition.Result {
+	t.Helper()
+	sys := sparse.PaperExample()
+	g, err := graph.FromSystem(sys.A, sys.B)
+	if err != nil {
+		t.Fatalf("FromSystem: %v", err)
+	}
+	assign := partition.Assignment{Parts: 2, Assign: []int{0, 0, 1, 1}}
+	res, err := partition.EVS(g, assign, partition.Options{})
+	if err != nil {
+		t.Fatalf("EVS: %v", err)
+	}
+	if len(res.Links) == 0 {
+		t.Fatalf("expected twin links in the paper partition")
+	}
+	return res
+}
+
+func TestConstantStrategy(t *testing.T) {
+	res := paperResult(t)
+	c := Constant{Z: 0.7}
+	if c.Name() == "" {
+		t.Errorf("strategy must have a name")
+	}
+	for _, link := range res.Links {
+		if got := c.Impedance(res, link); got != 0.7 {
+			t.Errorf("Constant impedance = %g, want 0.7", got)
+		}
+	}
+}
+
+func TestDiagScaledStrategyPositiveAndScales(t *testing.T) {
+	res := paperResult(t)
+	base := DiagScaled{Alpha: 1}
+	doubled := DiagScaled{Alpha: 2}
+	for _, link := range res.Links {
+		z1 := base.Impedance(res, link)
+		z2 := doubled.Impedance(res, link)
+		if z1 <= 0 {
+			t.Errorf("DiagScaled produced non-positive impedance %g", z1)
+		}
+		if math.Abs(z2-2*z1) > 1e-12 {
+			t.Errorf("DiagScaled must scale linearly in Alpha: %g vs %g", z1, z2)
+		}
+	}
+}
+
+func TestPerLinkAndPerVertexStrategies(t *testing.T) {
+	res := paperResult(t)
+	perLink := PerLink{Values: map[int]float64{res.Links[0].ID: 0.5}, Default: 2}
+	if got := perLink.Impedance(res, res.Links[0]); got != 0.5 {
+		t.Errorf("PerLink listed value = %g, want 0.5", got)
+	}
+	if len(res.Links) > 1 {
+		if got := perLink.Impedance(res, res.Links[1]); got != 2 {
+			t.Errorf("PerLink default = %g, want 2", got)
+		}
+	}
+
+	// The paper's Example 5.1: Z = 0.2 on the V2 pair, Z = 0.1 on the V3 pair.
+	perVertex := PerVertex{Values: map[int]float64{1: 0.2, 2: 0.1}, Default: 1}
+	for _, link := range res.Links {
+		got := perVertex.Impedance(res, link)
+		var want float64
+		switch link.Global {
+		case 1:
+			want = 0.2
+		case 2:
+			want = 0.1
+		default:
+			want = 1
+		}
+		if got != want {
+			t.Errorf("PerVertex impedance for split vertex %d = %g, want %g", link.Global, got, want)
+		}
+	}
+}
+
+func TestAssignValidatesPositivity(t *testing.T) {
+	res := paperResult(t)
+	zs, err := Assign(res, Constant{Z: 0.3})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	for _, link := range res.Links {
+		if zs[link.ID] != 0.3 {
+			t.Errorf("assigned impedance for link %d = %g", link.ID, zs[link.ID])
+		}
+	}
+	if _, err := Assign(res, Constant{Z: 0}); err == nil {
+		t.Errorf("a zero impedance must be rejected")
+	}
+	if _, err := Assign(res, Constant{Z: -1}); err == nil {
+		t.Errorf("a negative impedance must be rejected")
+	}
+}

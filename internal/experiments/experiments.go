@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation plus the comparisons and ablations listed in DESIGN.md. Each
+// experiment is a function returning a structured result with a Render method
+// that prints the same rows or series the paper reports; the cmd/dtmbench CLI
+// and the root bench harness are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dense"
+	"repro/internal/iterative"
+	"repro/internal/sparse"
+)
+
+// Reference computes the reference ("exact") solution of a system: a dense LU
+// solve for small systems and a tightly converged conjugate-gradient solve for
+// larger ones, which is accurate to ~1e-12 on the well-conditioned SPD systems
+// used here and much cheaper than dense factorisation at n = 4225.
+func Reference(sys sparse.System) (sparse.Vec, error) {
+	if sys.Dim() <= 600 {
+		return dense.SolveExact(sys.A, sys.B)
+	}
+	x, st, err := iterative.CG(sys.A, sys.B, iterative.Config{MaxIterations: 20 * sys.Dim(), Tol: 1e-13})
+	if err != nil {
+		return nil, err
+	}
+	if !st.Converged && st.Residual > 1e-10 {
+		return nil, fmt.Errorf("experiments: reference CG did not converge (residual %g)", st.Residual)
+	}
+	return x, nil
+}
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer) error
+}
+
+// Runner executes one named experiment and renders it to w. quick selects a
+// reduced problem size suitable for unit tests and -short benchmarks.
+type Runner func(w io.Writer, quick bool) error
+
+// Registry maps experiment names (as accepted by cmd/dtmbench -exp) to their
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig8": func(w io.Writer, quick bool) error {
+			r, err := Fig8(DefaultFig8Params())
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"fig9": func(w io.Writer, quick bool) error {
+			p := DefaultFig9Params()
+			if quick {
+				p.Impedances = p.Impedances[:5]
+			}
+			r, err := Fig9(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"fig11": func(w io.Writer, quick bool) error {
+			r := Fig11()
+			return r.Render(w)
+		},
+		"fig12": func(w io.Writer, quick bool) error {
+			p := DefaultFig12Params()
+			if quick {
+				p = QuickFig12Params()
+			}
+			r, err := Fig12(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"fig13": func(w io.Writer, quick bool) error {
+			r := Fig13()
+			return r.Render(w)
+		},
+		"fig14": func(w io.Writer, quick bool) error {
+			p := DefaultFig14Params()
+			if quick {
+				p = QuickFig14Params()
+			}
+			r, err := Fig14(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"compare-vtm": func(w io.Writer, quick bool) error {
+			p := DefaultCompareParams()
+			if quick {
+				p = QuickCompareParams()
+			}
+			r, err := CompareDTMvsVTM(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"compare-async-jacobi": func(w io.Writer, quick bool) error {
+			p := DefaultCompareParams()
+			if quick {
+				p = QuickCompareParams()
+			}
+			r, err := CompareAsyncJacobi(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"ablation-impedance": func(w io.Writer, quick bool) error {
+			p := DefaultCompareParams()
+			if quick {
+				p = QuickCompareParams()
+			}
+			r, err := AblationImpedance(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"ablation-delays": func(w io.Writer, quick bool) error {
+			p := DefaultCompareParams()
+			if quick {
+				p = QuickCompareParams()
+			}
+			r, err := AblationDelays(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+		"ablation-mixed": func(w io.Writer, quick bool) error {
+			p := DefaultCompareParams()
+			if quick {
+				p = QuickCompareParams()
+			}
+			r, err := AblationMixedSync(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
+	}
+}
+
+// Names returns the registered experiment names in a stable order.
+func Names() []string {
+	return []string{
+		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
+		"compare-vtm", "compare-async-jacobi",
+		"ablation-impedance", "ablation-delays", "ablation-mixed",
+	}
+}

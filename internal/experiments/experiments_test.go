@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRegistryAndNamesAgree(t *testing.T) {
+	reg := Registry()
+	names := Names()
+	if len(reg) != len(names) {
+		t.Errorf("registry has %d entries, Names lists %d", len(reg), len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate experiment name %q", n)
+		}
+		seen[n] = true
+		if reg[n] == nil {
+			t.Errorf("experiment %q listed but not registered", n)
+		}
+	}
+}
+
+func TestReferenceSolvesSmallAndLargeSystems(t *testing.T) {
+	small := GridSystemSpec{Nx: 5, Ny: 5, Kind: "poisson"}
+	sys, err := small.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	x, err := Reference(sys)
+	if err != nil {
+		t.Fatalf("Reference: %v", err)
+	}
+	if r := sys.A.Residual(x, sys.B); r.NormInf() > 1e-9 {
+		t.Errorf("small reference residual %g", r.NormInf())
+	}
+	// Force the CG path (dim > 600).
+	large := GridSystemSpec{Nx: 26, Ny: 26, Kind: "random-grid", Seed: 4}
+	lsys, err := large.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lx, err := Reference(lsys)
+	if err != nil {
+		t.Fatalf("Reference (CG path): %v", err)
+	}
+	if r := lsys.A.Residual(lx, lsys.B); r.Norm2()/lsys.B.Norm2() > 1e-9 {
+		t.Errorf("large reference residual %g", r.Norm2()/lsys.B.Norm2())
+	}
+}
+
+func TestGridSystemSpecRejectsUnknownKind(t *testing.T) {
+	if _, err := (GridSystemSpec{Nx: 4, Ny: 4, Kind: "banana"}).Build(); err == nil {
+		t.Errorf("unknown workload kind must be rejected")
+	}
+}
+
+func TestPaperProblemMatchesExample(t *testing.T) {
+	prob, strategy, exact, err := PaperProblem()
+	if err != nil {
+		t.Fatalf("PaperProblem: %v", err)
+	}
+	if prob.Partition.NumParts() != 2 || len(prob.Partition.Links) != 2 {
+		t.Errorf("paper problem shape wrong: %d parts, %d links", prob.Partition.NumParts(), len(prob.Partition.Links))
+	}
+	if prob.Topology.Delay(0, 1) != 6.7 || prob.Topology.Delay(1, 0) != 2.9 {
+		t.Errorf("paper problem delays wrong")
+	}
+	// The exact solution of (3.2).
+	want := []float64{0.5882352941, 0.9176470588, 1.0235294118, 0.8705882353}
+	for i, w := range want {
+		if math.Abs(exact[i]-w) > 1e-9 {
+			t.Errorf("exact[%d] = %g, want %g", i, exact[i], w)
+		}
+	}
+	// The Example 5.1 impedances.
+	for _, link := range prob.Partition.Links {
+		z := strategy.Impedance(prob.Partition, link)
+		switch link.Global {
+		case 1:
+			if z != 0.2 {
+				t.Errorf("Z for the V2 pair = %g, want 0.2", z)
+			}
+		case 2:
+			if z != 0.1 {
+				t.Errorf("Z for the V3 pair = %g, want 0.1", z)
+			}
+		default:
+			t.Errorf("unexpected split vertex %d", link.Global)
+		}
+	}
+}
+
+func TestFig8ReproducesConvergence(t *testing.T) {
+	res, err := Fig8(DefaultFig8Params())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	// The four potentials must approach the exact x2 and x3 of the original
+	// system, and the RMS error must have dropped by orders of magnitude.
+	if math.Abs(res.ExactX2-0.9176470588) > 1e-6 || math.Abs(res.ExactX3-1.0235294118) > 1e-6 {
+		t.Errorf("exact potentials wrong: %g, %g", res.ExactX2, res.ExactX3)
+	}
+	if res.FinalRMS > 1e-5 {
+		t.Errorf("final RMS error %g, want < 1e-5 after 150 us", res.FinalRMS)
+	}
+	if len(res.Potentials) != 4 {
+		t.Fatalf("expected 4 potential series")
+	}
+	for _, s := range res.Potentials {
+		if s.Len() == 0 {
+			t.Errorf("series %s is empty", s.Name)
+		}
+	}
+	for i, want := range []float64{res.ExactX2, res.ExactX2, res.ExactX3, res.ExactX3} {
+		if got := res.Potentials[i].Final(); math.Abs(got-want) > 1e-4 {
+			t.Errorf("final %s = %g, want %g", res.Potentials[i].Name, got, want)
+		}
+	}
+	if res.Solves == 0 || res.Messages == 0 {
+		t.Errorf("no work recorded")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Figure 8") {
+		t.Errorf("render output missing the caption")
+	}
+}
+
+func TestFig9ImpedanceSweepShape(t *testing.T) {
+	p := DefaultFig9Params()
+	p.Impedances = []float64{0.01, 0.1, 1, 10}
+	res, err := Fig9(p)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	if res.Curve.Len() != 4 {
+		t.Fatalf("curve has %d points", res.Curve.Len())
+	}
+	if res.BestError >= res.WorstError {
+		t.Errorf("the sweep must show a spread: best %g, worst %g", res.BestError, res.WorstError)
+	}
+	if res.BestZ <= 0 {
+		t.Errorf("BestZ = %g", res.BestZ)
+	}
+	// Theorem 6.1: every impedance converges, so every error is finite.
+	for _, pt := range res.Curve.Points {
+		if math.IsNaN(pt.V) || math.IsInf(pt.V, 0) {
+			t.Errorf("error at Z=%g is not finite: %g", pt.T, pt.V)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}
+
+func TestFig9RejectsEmptySweep(t *testing.T) {
+	if _, err := Fig9(Fig9Params{SampleTime: 100}); err == nil {
+		t.Errorf("an empty sweep must be rejected")
+	}
+	if _, err := Fig9(Fig9Params{SampleTime: 0, Impedances: []float64{1}}); err == nil {
+		t.Errorf("a zero sample time must be rejected")
+	}
+}
+
+func TestFig11AndFig13Platforms(t *testing.T) {
+	f11 := Fig11()
+	if f11.Topo.N() != 16 || f11.Stats.Count != 48 {
+		t.Errorf("Fig11 platform wrong: %d processors, %d links", f11.Topo.N(), f11.Stats.Count)
+	}
+	if ratio := f11.Stats.Max / f11.Stats.Min; ratio < 5 {
+		t.Errorf("Fig11 max/min delay ratio = %g, want ~9", ratio)
+	}
+	f13 := Fig13()
+	if f13.Topo.N() != 64 || f13.Stats.Count != 224 {
+		t.Errorf("Fig13 platform wrong: %d processors, %d links", f13.Topo.N(), f13.Stats.Count)
+	}
+	if f13.Stats.Min < 10 || f13.Stats.Max > 100 {
+		t.Errorf("Fig13 delays outside [10,100]: [%g, %g]", f13.Stats.Min, f13.Stats.Max)
+	}
+	for _, r := range []*TopologyResult{f11, f13} {
+		var sb strings.Builder
+		if err := r.Render(&sb); err != nil {
+			t.Fatalf("Render: %v", err)
+		}
+		if !strings.Contains(sb.String(), "ms") {
+			t.Errorf("render output missing the delay table")
+		}
+	}
+}
+
+func TestRunMeshValidatesShape(t *testing.T) {
+	p := QuickFig12Params()
+	p.MeshPx = 3 // 3x4 != 16 processors
+	if _, err := RunMesh(p); err == nil {
+		t.Errorf("mismatched processor mesh must be rejected")
+	}
+}
+
+func TestFig12QuickConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh experiment skipped in -short mode")
+	}
+	res, err := Fig12(QuickFig12Params())
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if len(res.Curves) != 1 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	c := res.Curves[0]
+	if c.N != 289 {
+		t.Errorf("n = %d, want 289", c.N)
+	}
+	if !c.Converged || c.FinalRMS > 2e-6 {
+		t.Errorf("quick Fig12 run: converged=%v rms=%g", c.Converged, c.FinalRMS)
+	}
+	if !strings.Contains(c.Theorem, "satisfied") {
+		t.Errorf("theorem report: %s", c.Theorem)
+	}
+	if math.IsNaN(c.TimeTo1e3) {
+		t.Errorf("the error never reached 1e-3")
+	}
+	if c.Error.Len() == 0 {
+		t.Errorf("empty convergence curve")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}
+
+func TestCompareParamsValidation(t *testing.T) {
+	bad := DefaultCompareParams()
+	bad.MeshPx = 3
+	if _, err := CompareDTMvsVTM(bad); err == nil {
+		t.Errorf("mismatched mesh must be rejected")
+	}
+	bad2 := DefaultCompareParams()
+	bad2.MaxTime = 0
+	if _, err := CompareAsyncJacobi(bad2); err == nil {
+		t.Errorf("zero horizon must be rejected")
+	}
+	bad3 := DefaultCompareParams()
+	bad3.Topo = nil
+	if _, err := AblationImpedance(bad3); err == nil {
+		t.Errorf("nil topology must be rejected")
+	}
+	bad4 := DefaultCompareParams()
+	bad4.TargetError = 0
+	if _, err := AblationDelays(bad4); err == nil {
+		t.Errorf("zero target error must be rejected")
+	}
+	bad5 := DefaultCompareParams()
+	bad5.System.Kind = "banana"
+	if _, err := AblationMixedSync(bad5); err == nil {
+		t.Errorf("unknown workload must be rejected")
+	}
+}
+
+func TestCompareDTMvsVTMQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison experiment skipped in -short mode")
+	}
+	res, err := CompareDTMvsVTM(QuickCompareParams())
+	if err != nil {
+		t.Fatalf("CompareDTMvsVTM: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	dtm, vtm := res.Rows[0], res.Rows[1]
+	if !dtm.Converged || !vtm.Converged {
+		t.Errorf("both solvers must reach the quick target: DTM %v, VTM %v", dtm.Converged, vtm.Converged)
+	}
+	// The paper's qualitative claim: VTM needs fewer sweeps (its solves are far
+	// fewer than DTM's), DTM needs no synchronisation.
+	if vtm.Solves >= dtm.Solves {
+		t.Errorf("VTM should use fewer local solves than DTM: %d vs %d", vtm.Solves, dtm.Solves)
+	}
+	if err := res.Render(io.Discard); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}
+
+func TestGALSMeshStructure(t *testing.T) {
+	topo := galsMesh(4, 4)
+	if topo.N() != 16 {
+		t.Fatalf("N = %d", topo.N())
+	}
+	// Inside a 2x2 cluster the delay is 1 ms; between clusters it is >= 10 ms.
+	if d := topo.LinkDelay(0, 1); d != 1 {
+		t.Errorf("intra-cluster delay = %g, want 1", d)
+	}
+	if d := topo.LinkDelay(1, 2); d < 10 {
+		t.Errorf("inter-cluster delay = %g, want >= 10", d)
+	}
+}
+
+func TestHeterogeneousMeshFallsBackToPaperMesh(t *testing.T) {
+	if heterogeneousMesh(4, 4).Name() != topology.Mesh4x4Paper().Name() {
+		t.Errorf("4x4 must reuse the paper platform")
+	}
+	other := heterogeneousMesh(3, 3)
+	if other.N() != 9 {
+		t.Errorf("3x3 fallback has %d processors", other.N())
+	}
+}
+
+func TestSlowestRoundTrip(t *testing.T) {
+	topo := topology.New(2, "rt")
+	topo.SetLinkPair(0, 1, 30, 70)
+	if got := slowestRoundTrip(topo); got != 100 {
+		t.Errorf("slowestRoundTrip = %g, want 100", got)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// TopologyResult reproduces the platform figures of the paper (Fig. 11 for the
+// 4×4 mesh, Fig. 13 for the 8×8 mesh): the per-link N2N delays and their
+// summary statistics (the bar charts of panels B).
+type TopologyResult struct {
+	Figure string
+	Topo   *topology.Topology
+	Stats  topology.DelayStats
+}
+
+// Fig11 returns the 16-processor 4×4 mesh with heterogeneous asymmetric
+// delays: the paper's maximum delay (99 ms) is about 9–10× the minimum
+// (10 ms), and the delay from Pk to Pj differs from the delay from Pj to Pk.
+func Fig11() *TopologyResult {
+	t := topology.Mesh4x4Paper()
+	return &TopologyResult{Figure: "Figure 11 — heterogeneous 4x4 mesh of 16 processors", Topo: t, Stats: t.Stats()}
+}
+
+// Fig13 returns the 64-processor 8×8 mesh whose directed link delays are
+// uniformly distributed between 10 ms and 100 ms.
+func Fig13() *TopologyResult {
+	t := topology.Mesh8x8Paper()
+	return &TopologyResult{Figure: "Figure 13 — 8x8 mesh of 64 processors, delays ~ U[10,100] ms", Topo: t, Stats: t.Stats()}
+}
+
+// Render implements Renderer: it prints the delay bar-chart data (per directed
+// link) and the summary statistics.
+func (r *TopologyResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, r.Figure)
+	tbl := metrics.NewTable("directed N2N link delays (ms)", "from", "to", "delay", "reverse")
+	links := r.Topo.Links()
+	for _, l := range links {
+		if l.From < l.To {
+			tbl.AddRow(l.From, l.To, l.Delay, r.Topo.LinkDelay(l.To, l.From))
+		}
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "links=%d  min=%.1f ms  max=%.1f ms  mean=%.1f ms  max/min=%.1f  max directional asymmetry=%.2f\n",
+		r.Stats.Count, r.Stats.Min, r.Stats.Max, r.Stats.Mean, r.Stats.Max/r.Stats.Min, r.Stats.AsymmetryMax)
+	return err
+}

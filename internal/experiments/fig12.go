@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// GridSystemSpec describes one grid-structured SPD workload of the mesh
+// experiments (Figs. 12 and 14): the paper's sparse SPD systems with
+// n = 289, 1089 and 4225 unknowns are 17², 33² and 65² grid systems.
+type GridSystemSpec struct {
+	// Nx, Ny are the grid dimensions (n = Nx*Ny).
+	Nx, Ny int
+	// Kind selects the generator: "poisson" (5-point Laplacian with a small
+	// SPD shift) or "random-grid" (random edge weights on the grid pattern,
+	// matching the paper's "randomly generated sparse SPD linear systems").
+	Kind string
+	// Seed seeds the random generator for "random-grid".
+	Seed int64
+}
+
+// Build materialises the workload.
+func (s GridSystemSpec) Build() (sparse.System, error) {
+	switch s.Kind {
+	case "poisson":
+		return sparse.Poisson2D(s.Nx, s.Ny, 0.05), nil
+	case "random-grid":
+		return sparse.RandomGridSPD(s.Nx, s.Ny, s.Seed), nil
+	default:
+		return sparse.System{}, fmt.Errorf("experiments: unknown grid system kind %q", s.Kind)
+	}
+}
+
+// MeshRunParams configures one mesh convergence experiment (Fig. 12 or 14).
+type MeshRunParams struct {
+	// Figure is the caption used when rendering.
+	Figure string
+	// Topo is the processor mesh; MeshPx×MeshPy must equal Topo.N().
+	Topo           *topology.Topology
+	MeshPx, MeshPy int
+	// Systems are the workloads whose convergence curves are overlaid.
+	Systems []GridSystemSpec
+	// MaxTime is the virtual horizon in ms.
+	MaxTime float64
+	// StopOnError ends a run early once the RMS error reaches it.
+	StopOnError float64
+	// SamplePoints bounds the reported series length.
+	SamplePoints int
+}
+
+// DefaultFig12Params reproduces Fig. 12: DTM on the 16-processor heterogeneous
+// 4×4 mesh, solving randomly generated grid-sparsity SPD systems with 289 and
+// 1089 unknowns, regularly partitioned into 4×4 blocks (level-one/level-two
+// mixed EVS).
+func DefaultFig12Params() MeshRunParams {
+	return MeshRunParams{
+		Figure: "Figure 12 — DTM convergence on 16 processors (heterogeneous 4x4 mesh)",
+		Topo:   topology.Mesh4x4Paper(),
+		MeshPx: 4, MeshPy: 4,
+		Systems: []GridSystemSpec{
+			{Nx: 17, Ny: 17, Kind: "random-grid", Seed: 289},
+			{Nx: 33, Ny: 33, Kind: "random-grid", Seed: 1089},
+		},
+		MaxTime:      6000,
+		StopOnError:  1e-9,
+		SamplePoints: 60,
+	}
+}
+
+// QuickFig12Params is a reduced version for tests and -short benchmarks.
+func QuickFig12Params() MeshRunParams {
+	p := DefaultFig12Params()
+	p.Systems = []GridSystemSpec{{Nx: 17, Ny: 17, Kind: "random-grid", Seed: 289}}
+	p.MaxTime = 2500
+	p.StopOnError = 1e-6
+	return p
+}
+
+// DefaultFig14Params reproduces Fig. 14: DTM on the 64-processor 8×8 mesh with
+// U[10,100] ms delays, solving systems with 1089 and 4225 unknowns.
+func DefaultFig14Params() MeshRunParams {
+	return MeshRunParams{
+		Figure: "Figure 14 — DTM convergence on 64 processors (8x8 mesh, U[10,100] ms delays)",
+		Topo:   topology.Mesh8x8Paper(),
+		MeshPx: 8, MeshPy: 8,
+		Systems: []GridSystemSpec{
+			{Nx: 33, Ny: 33, Kind: "random-grid", Seed: 1089},
+			{Nx: 65, Ny: 65, Kind: "random-grid", Seed: 4225},
+		},
+		MaxTime:      8000,
+		StopOnError:  1e-9,
+		SamplePoints: 60,
+	}
+}
+
+// QuickFig14Params is a reduced version for tests and -short benchmarks.
+func QuickFig14Params() MeshRunParams {
+	p := DefaultFig14Params()
+	p.Systems = []GridSystemSpec{{Nx: 17, Ny: 17, Kind: "random-grid", Seed: 17}}
+	p.MaxTime = 2500
+	p.StopOnError = 1e-5
+	return p
+}
+
+// MeshRunCurve is the convergence record of one workload.
+type MeshRunCurve struct {
+	System    string
+	N         int
+	Error     metrics.Series
+	FinalRMS  float64
+	Residual  float64
+	TimeTo1e3 float64
+	TimeTo1e6 float64
+	Solves    int
+	Messages  int
+	Theorem   string
+	FinalTime float64
+	Converged bool
+}
+
+// MeshRunResult is the reproduction of Fig. 12 or Fig. 14.
+type MeshRunResult struct {
+	Figure string
+	Curves []MeshRunCurve
+}
+
+// RunMesh executes a mesh convergence experiment.
+func RunMesh(p MeshRunParams) (*MeshRunResult, error) {
+	if p.MeshPx*p.MeshPy != p.Topo.N() {
+		return nil, fmt.Errorf("experiments: mesh %dx%d does not match topology with %d processors", p.MeshPx, p.MeshPy, p.Topo.N())
+	}
+	out := &MeshRunResult{Figure: p.Figure}
+	for _, spec := range p.Systems {
+		sys, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		exact, err := Reference(sys)
+		if err != nil {
+			return nil, err
+		}
+		prob, err := core.GridProblem(sys, spec.Nx, spec.Ny, p.MeshPx, p.MeshPy, p.Topo)
+		if err != nil {
+			return nil, err
+		}
+		report := core.CheckTheorem(prob, 1e-8, 400)
+		res, err := core.SolveDTM(prob, core.Options{
+			MaxTime:     p.MaxTime,
+			Exact:       exact,
+			StopOnError: p.StopOnError,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve := MeshRunCurve{
+			System:    sys.Name,
+			N:         sys.Dim(),
+			Error:     metrics.Series{Name: fmt.Sprintf("rms-error-n%d", sys.Dim())},
+			FinalRMS:  res.RMSError,
+			Residual:  res.Residual,
+			Solves:    res.Solves,
+			Messages:  res.Messages,
+			Theorem:   report.String(),
+			FinalTime: res.FinalTime,
+			Converged: res.Converged,
+		}
+		for _, tp := range res.Trace {
+			curve.Error.Append(tp.Time, tp.RMSError)
+		}
+		curve.TimeTo1e3 = curve.Error.TimeTo(1e-3)
+		curve.TimeTo1e6 = curve.Error.TimeTo(1e-6)
+		curve.Error = curve.Error.Resample(p.SamplePoints)
+		out.Curves = append(out.Curves, curve)
+	}
+	return out, nil
+}
+
+// Fig12 reproduces Fig. 12.
+func Fig12(p MeshRunParams) (*MeshRunResult, error) { return RunMesh(p) }
+
+// Fig14 reproduces Fig. 14.
+func Fig14(p MeshRunParams) (*MeshRunResult, error) { return RunMesh(p) }
+
+// Render implements Renderer.
+func (r *MeshRunResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, r.Figure)
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "\nsystem %s (n=%d): %s\n", c.System, c.N, c.Theorem)
+		tbl := metrics.NewTable("RMS error vs virtual time (ms)", "t", "rms-error")
+		for _, pt := range c.Error.Points {
+			tbl.AddRow(pt.T, pt.V)
+		}
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		t3 := "never"
+		if !math.IsNaN(c.TimeTo1e3) {
+			t3 = fmt.Sprintf("%.0f ms", c.TimeTo1e3)
+		}
+		t6 := "never"
+		if !math.IsNaN(c.TimeTo1e6) {
+			t6 = fmt.Sprintf("%.0f ms", c.TimeTo1e6)
+		}
+		fmt.Fprintf(w, "final rms %.3g (residual %.3g) at t=%.0f ms, converged=%v, error<=1e-3 after %s, <=1e-6 after %s, %d solves, %d messages\n",
+			c.FinalRMS, c.Residual, c.FinalTime, c.Converged, t3, t6, c.Solves, c.Messages)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+// Package graph implements the "electric graph" of Section 3 of the paper:
+// the weighted undirected graph of a symmetric linear system A x = b in which
+// vertex i carries weight a_ii (its self-admittance), source b_i (its injected
+// current) and potential x_i, while edge {i,j} carries weight a_ij. The
+// electric graph is one-to-one with the symmetric system, and Electric Vertex
+// Splitting (package partition) operates on this representation.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Edge is an undirected weighted edge between two vertices.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Electric is the electric graph of a symmetric linear system.
+type Electric struct {
+	n       int
+	weights sparse.Vec        // vertex weights a_ii
+	sources sparse.Vec        // vertex sources b_i
+	adj     []map[int]float64 // adjacency with edge weights a_ij (i != j)
+}
+
+// New returns an electric graph with n isolated vertices, zero weights and
+// zero sources.
+func New(n int) *Electric {
+	if n < 0 {
+		panic("graph: New with negative size")
+	}
+	g := &Electric{
+		n:       n,
+		weights: sparse.NewVec(n),
+		sources: sparse.NewVec(n),
+		adj:     make([]map[int]float64, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// FromSystem builds the electric graph of the symmetric system (A, b).
+// It returns an error when A is not square, not symmetric, or its dimension
+// does not match b.
+func FromSystem(a *sparse.CSR, b sparse.Vec) (*Electric, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("graph: matrix is %dx%d, not square", a.Rows(), a.Cols())
+	}
+	if len(b) != a.Rows() {
+		return nil, fmt.Errorf("graph: rhs length %d does not match matrix dimension %d", len(b), a.Rows())
+	}
+	if !a.IsSymmetric(1e-9 * (1 + a.MaxAbs())) {
+		return nil, fmt.Errorf("graph: matrix is not symmetric")
+	}
+	g := New(a.Rows())
+	copy(g.sources, b)
+	a.Each(func(i, j int, v float64) {
+		if i == j {
+			g.weights[i] = v
+		} else if i < j {
+			g.SetEdge(i, j, v)
+		}
+	})
+	return g, nil
+}
+
+// MustFromSystem is FromSystem that panics on error (for tests and generators
+// whose inputs are symmetric by construction).
+func MustFromSystem(a *sparse.CSR, b sparse.Vec) *Electric {
+	g, err := FromSystem(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Order returns the number of vertices.
+func (g *Electric) Order() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Electric) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// VertexWeight returns a_ii.
+func (g *Electric) VertexWeight(i int) float64 { return g.weights[i] }
+
+// SetVertexWeight sets a_ii.
+func (g *Electric) SetVertexWeight(i int, w float64) { g.weights[i] = w }
+
+// Source returns b_i.
+func (g *Electric) Source(i int) float64 { return g.sources[i] }
+
+// SetSource sets b_i.
+func (g *Electric) SetSource(i int, s float64) { g.sources[i] = s }
+
+// EdgeWeight returns a_ij (zero when the edge does not exist).
+func (g *Electric) EdgeWeight(i, j int) float64 { return g.adj[i][j] }
+
+// HasEdge reports whether {i, j} is an edge.
+func (g *Electric) HasEdge(i, j int) bool {
+	_, ok := g.adj[i][j]
+	return ok
+}
+
+// SetEdge sets the weight of the undirected edge {i, j}. A zero weight removes
+// the edge. Self-loops are rejected: diagonal entries are vertex weights.
+func (g *Electric) SetEdge(i, j int, w float64) {
+	if i == j {
+		panic(fmt.Sprintf("graph: SetEdge self-loop at vertex %d; use SetVertexWeight", i))
+	}
+	if w == 0 {
+		delete(g.adj[i], j)
+		delete(g.adj[j], i)
+		return
+	}
+	g.adj[i][j] = w
+	g.adj[j][i] = w
+}
+
+// Neighbors returns the neighbours of vertex i in ascending order.
+func (g *Electric) Neighbors(i int) []int {
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the number of neighbours of vertex i.
+func (g *Electric) Degree(i int) int { return len(g.adj[i]) }
+
+// Edges returns all undirected edges with U < V, ordered lexicographically.
+func (g *Electric) Edges() []Edge {
+	var out []Edge
+	for i := 0; i < g.n; i++ {
+		for j, w := range g.adj[i] {
+			if i < j {
+				out = append(out, Edge{U: i, V: j, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// ToSystem converts the electric graph back into (A, b). Composed with
+// FromSystem it is the identity (Section 3: the mapping is one-to-one).
+func (g *Electric) ToSystem() (*sparse.CSR, sparse.Vec) {
+	coo := sparse.NewCOO(g.n, g.n)
+	for i := 0; i < g.n; i++ {
+		coo.Add(i, i, g.weights[i])
+		for j, w := range g.adj[i] {
+			if i < j {
+				coo.AddSym(i, j, w)
+			}
+		}
+	}
+	return coo.ToCSR(), g.sources.Clone()
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Electric) Clone() *Electric {
+	out := New(g.n)
+	copy(out.weights, g.weights)
+	copy(out.sources, g.sources)
+	for i := 0; i < g.n; i++ {
+		for j, w := range g.adj[i] {
+			out.adj[i][j] = w
+		}
+	}
+	return out
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, ordered by their smallest vertex.
+func (g *Electric) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, w := range g.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has a single connected component
+// (or is empty).
+func (g *Electric) IsConnected() bool {
+	return g.n == 0 || len(g.ConnectedComponents()) == 1
+}
+
+// BFSLevels returns, for each vertex, its BFS distance from the start vertex
+// (-1 for unreachable vertices). It is used by the level-set partitioner.
+func (g *Electric) BFSLevels(start int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if start < 0 || start >= g.n {
+		return dist
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// DiagonalDominanceSlack returns, for vertex i, a_ii - Σ_j |a_ij| — the amount
+// of "excess" self-weight beyond what its incident edges require. EVS uses it
+// to split vertex weights in a definiteness-preserving way.
+func (g *Electric) DiagonalDominanceSlack(i int) float64 {
+	var off float64
+	for _, w := range g.adj[i] {
+		off += math.Abs(w)
+	}
+	return g.weights[i] - off
+}
+
+// IncidentAbsWeight returns Σ_{j in set} |a_ij| for the neighbours of i that
+// lie in the given vertex set.
+func (g *Electric) IncidentAbsWeight(i int, inSet func(int) bool) float64 {
+	var s float64
+	for j, w := range g.adj[i] {
+		if inSet(j) {
+			s += math.Abs(w)
+		}
+	}
+	return s
+}

@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func paperGraph(t *testing.T) *Electric {
+	t.Helper()
+	sys := sparse.PaperExample()
+	g, err := FromSystem(sys.A, sys.B)
+	if err != nil {
+		t.Fatalf("FromSystem: %v", err)
+	}
+	return g
+}
+
+func TestFromSystemPaperExample(t *testing.T) {
+	g := paperGraph(t)
+	if g.Order() != 4 {
+		t.Fatalf("Order = %d, want 4", g.Order())
+	}
+	// Fig. 3: V1-V2, V1-V3, V2-V3, V2-V4, V3-V4 — five edges, no V1-V4 edge.
+	if g.NumEdges() != 5 {
+		t.Errorf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if g.HasEdge(0, 3) {
+		t.Errorf("V1 and V4 must not be connected (a_14 = 0)")
+	}
+	if !g.HasEdge(1, 2) || g.EdgeWeight(1, 2) != -2 {
+		t.Errorf("edge V2-V3 weight = %g, want -2", g.EdgeWeight(1, 2))
+	}
+	if g.EdgeWeight(2, 1) != -2 {
+		t.Errorf("edges are undirected; weight(2,1) = %g", g.EdgeWeight(2, 1))
+	}
+	// Vertex weights are the diagonal, sources the right-hand side, potentials
+	// initially unknown.
+	for i, want := range []float64{5, 6, 7, 8} {
+		if got := g.VertexWeight(i); got != want {
+			t.Errorf("VertexWeight(%d) = %g, want %g", i, got, want)
+		}
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if got := g.Source(i); got != want {
+			t.Errorf("Source(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestFromSystemErrors(t *testing.T) {
+	rect := sparse.NewCSRFromDense([][]float64{{1, 2, 3}, {4, 5, 6}}, 0)
+	if _, err := FromSystem(rect, sparse.Vec{1, 2}); err == nil {
+		t.Errorf("non-square matrix must be rejected")
+	}
+	asym := sparse.NewCSRFromDense([][]float64{{1, 2}, {3, 1}}, 0)
+	if _, err := FromSystem(asym, sparse.Vec{1, 2}); err == nil {
+		t.Errorf("non-symmetric matrix must be rejected")
+	}
+	sym := sparse.NewCSRFromDense([][]float64{{2, -1}, {-1, 2}}, 0)
+	if _, err := FromSystem(sym, sparse.Vec{1}); err == nil {
+		t.Errorf("dimension mismatch must be rejected")
+	}
+}
+
+func TestMustFromSystemPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustFromSystem must panic on invalid input")
+		}
+	}()
+	asym := sparse.NewCSRFromDense([][]float64{{1, 2}, {3, 1}}, 0)
+	MustFromSystem(asym, sparse.Vec{1, 2})
+}
+
+func TestToSystemRoundTrip(t *testing.T) {
+	sys := sparse.PaperExample()
+	g := paperGraph(t)
+	a, b := g.ToSystem()
+	if !a.EqualApprox(sys.A, 1e-14) {
+		t.Errorf("ToSystem matrix differs from the original")
+	}
+	if !b.Equal(sys.B, 0) {
+		t.Errorf("ToSystem rhs = %v, want %v", b, sys.B)
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := paperGraph(t)
+	nb := g.Neighbors(1)
+	if len(nb) != 3 || g.Degree(1) != 3 {
+		t.Errorf("V2 neighbours = %v (degree %d), want 3 of them", nb, g.Degree(1))
+	}
+	seen := map[int]bool{}
+	for _, j := range nb {
+		seen[j] = true
+	}
+	if !seen[0] || !seen[2] || !seen[3] {
+		t.Errorf("V2 must neighbour V1, V3, V4; got %v", nb)
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("V1 degree = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestEdgesListMatchesCount(t *testing.T) {
+	g := paperGraph(t)
+	edges := g.Edges()
+	if len(edges) != g.NumEdges() {
+		t.Fatalf("Edges() returned %d edges, NumEdges says %d", len(edges), g.NumEdges())
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Errorf("self-loop in edge list: %+v", e)
+		}
+		if e.Weight != g.EdgeWeight(e.U, e.V) {
+			t.Errorf("edge list weight mismatch for %+v", e)
+		}
+	}
+}
+
+func TestSetEdgeAddAndRemove(t *testing.T) {
+	g := New(3)
+	g.SetEdge(0, 2, -1.5)
+	if !g.HasEdge(0, 2) || g.EdgeWeight(2, 0) != -1.5 {
+		t.Errorf("SetEdge did not create the undirected edge")
+	}
+	g.SetEdge(0, 2, 0)
+	if g.HasEdge(0, 2) || g.NumEdges() != 0 {
+		t.Errorf("a zero weight must remove the edge")
+	}
+}
+
+func TestSetEdgeRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("self-loops must be rejected")
+		}
+	}()
+	New(2).SetEdge(1, 1, 3)
+}
+
+func TestSettersAndClone(t *testing.T) {
+	g := New(2)
+	g.SetVertexWeight(0, 4)
+	g.SetSource(0, -2)
+	g.SetEdge(0, 1, -1)
+	c := g.Clone()
+	c.SetVertexWeight(0, 99)
+	c.SetEdge(0, 1, -7)
+	if g.VertexWeight(0) != 4 || g.EdgeWeight(0, 1) != -1 || g.Source(0) != -2 {
+		t.Errorf("Clone must not alias the original graph")
+	}
+}
+
+func TestConnectivityHelpers(t *testing.T) {
+	g := paperGraph(t)
+	if !g.IsConnected() {
+		t.Errorf("the paper graph is connected")
+	}
+	if comps := g.ConnectedComponents(); len(comps) != 1 || len(comps[0]) != 4 {
+		t.Errorf("components = %v, want one component of size 4", comps)
+	}
+
+	// Two disconnected pairs.
+	h := New(4)
+	h.SetEdge(0, 1, -1)
+	h.SetEdge(2, 3, -1)
+	if h.IsConnected() {
+		t.Errorf("disconnected graph misreported as connected")
+	}
+	comps := h.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Errorf("components = %v, want 2", comps)
+	}
+	levels := h.BFSLevels(0)
+	if levels[1] != 1 || levels[0] != 0 {
+		t.Errorf("BFS levels wrong: %v", levels)
+	}
+	if levels[2] != -1 || levels[3] != -1 {
+		t.Errorf("unreachable vertices must have level -1: %v", levels)
+	}
+}
+
+func TestBFSLevelsPath(t *testing.T) {
+	// A path 0-1-2-3: levels from 0 are 0,1,2,3.
+	g := New(4)
+	for i := 0; i < 3; i++ {
+		g.SetEdge(i, i+1, -1)
+	}
+	levels := g.BFSLevels(0)
+	for i, want := range []int{0, 1, 2, 3} {
+		if levels[i] != want {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want)
+		}
+	}
+}
+
+func TestDiagonalDominanceSlack(t *testing.T) {
+	g := paperGraph(t)
+	// Row 1 of the paper matrix: 6 - (1+2+1) = 2.
+	if got := g.DiagonalDominanceSlack(1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slack(V2) = %g, want 2", got)
+	}
+	// Row 0: 5 - (1+1) = 3.
+	if got := g.DiagonalDominanceSlack(0); math.Abs(got-3) > 1e-12 {
+		t.Errorf("slack(V1) = %g, want 3", got)
+	}
+}
+
+func TestIncidentAbsWeight(t *testing.T) {
+	g := paperGraph(t)
+	// Neighbours of V2 inside the set {V3, V4}: |−2| + |−1| = 3.
+	inSet := func(j int) bool { return j == 2 || j == 3 }
+	if got := g.IncidentAbsWeight(1, inSet); math.Abs(got-3) > 1e-12 {
+		t.Errorf("IncidentAbsWeight = %g, want 3", got)
+	}
+	// Empty set: zero.
+	if got := g.IncidentAbsWeight(1, func(int) bool { return false }); got != 0 {
+		t.Errorf("IncidentAbsWeight over the empty set = %g", got)
+	}
+}
+
+// Property: FromSystem followed by ToSystem is the identity on random
+// symmetric diagonally dominant systems.
+func TestGraphSystemRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 2 + int(rawN%25)
+		sys := sparse.RandomSPD(n, 0.2, seed)
+		g, err := FromSystem(sys.A, sys.B)
+		if err != nil {
+			return false
+		}
+		a, b := g.ToSystem()
+		return a.EqualApprox(sys.A, 1e-12) && b.Equal(sys.B, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of all vertex degrees equals twice the number of edges.
+func TestHandshakeLemmaProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 2 + int(rawN%25)
+		sys := sparse.RandomSPD(n, 0.25, seed)
+		g, err := FromSystem(sys.A, sys.B)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i := 0; i < g.Order(); i++ {
+			total += g.Degree(i)
+		}
+		return total == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package iterative
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// AsyncOptions configures the asynchronous block-Jacobi baseline, which runs
+// on the same discrete-event network simulator as DTM: one block per
+// processor, no synchronisation, each block re-solving whenever fresh
+// neighbour values arrive and sending its own boundary values onwards. It is
+// the "traditional asynchronous algorithm" (Baudet-style chaotic relaxation)
+// the paper's introduction contrasts DTM with.
+type AsyncOptions struct {
+	// MaxTime is the virtual time horizon (same unit as the topology delays).
+	MaxTime float64
+	// Tol stops the run when every block's last update moved its values by
+	// less than Tol.
+	Tol float64
+	// Exact, when non-nil, enables the RMS-error trace.
+	Exact sparse.Vec
+	// ComputeTime is the virtual local solve time (default: 5% of the minimum
+	// link delay).
+	ComputeTime float64
+	// RecordTrace enables the error trace.
+	RecordTrace bool
+	// ProcMap maps blocks to processors (identity when nil).
+	ProcMap []int
+}
+
+// AsyncTracePoint is one monitor sample of an asynchronous block-Jacobi run.
+type AsyncTracePoint struct {
+	Time     float64
+	RMSError float64
+	Solves   int
+}
+
+// AsyncResult is the outcome of an asynchronous block-Jacobi run.
+type AsyncResult struct {
+	X         sparse.Vec
+	Converged bool
+	FinalTime float64
+	RMSError  float64
+	Residual  float64
+	Solves    int
+	Messages  int
+	Trace     []AsyncTracePoint
+}
+
+type ajEngine struct {
+	blocks []*blockData
+	x      sparse.Vec // global view assembled from owner blocks
+	exact  sparse.Vec
+	solves int
+	last   []float64
+	solved []bool
+	trace  []AsyncTracePoint
+	opts   *AsyncOptions
+}
+
+type ajPacket struct {
+	values []ajValue
+}
+
+type ajValue struct {
+	global int
+	val    float64
+}
+
+type ajNode struct {
+	eng *ajEngine
+	blk *blockData
+	// xView is this block's private view of the global vector (only the halo
+	// and owned entries are ever read).
+	xView   sparse.Vec
+	local   sparse.Vec
+	compute float64
+}
+
+func (n *ajNode) Init(now float64) []netsim.Outgoing {
+	// Announce the initial (zero) boundary values to bootstrap the exchange.
+	return n.packets()
+}
+
+func (n *ajNode) OnMessages(now float64, msgs []netsim.Message) []netsim.Outgoing {
+	for _, m := range msgs {
+		pkt, ok := m.Payload.(ajPacket)
+		if !ok {
+			continue
+		}
+		for _, v := range pkt.values {
+			n.xView[v.global] = v.val
+		}
+	}
+	n.blk.solveLocal(n.xView, n.local)
+	var change float64
+	for li, gv := range n.blk.own {
+		if d := math.Abs(n.local[li] - n.xView[gv]); d > change {
+			change = d
+		}
+		n.xView[gv] = n.local[li]
+		n.eng.x[gv] = n.local[li]
+	}
+	p := n.blk.part
+	n.eng.last[p] = change
+	n.eng.solved[p] = true
+	n.eng.solves++
+	return n.packets()
+}
+
+func (n *ajNode) ComputeTime(int) float64 { return n.compute }
+
+func (n *ajNode) packets() []netsim.Outgoing {
+	var outs []netsim.Outgoing
+	for _, q := range n.blk.adjacent {
+		list := n.blk.sendTo[q]
+		if len(list) == 0 {
+			continue
+		}
+		values := make([]ajValue, len(list))
+		for i, gv := range list {
+			values[i] = ajValue{global: gv, val: n.xView[gv]}
+		}
+		outs = append(outs, netsim.Outgoing{To: q, Payload: ajPacket{values: values}})
+	}
+	return outs
+}
+
+// AsyncBlockJacobi runs the asynchronous block-Jacobi iteration on the given
+// machine and returns the assembled solution. One block is mapped to one
+// processor; messages carry boundary values and experience the topology's
+// directed delays, exactly like DTM's wave messages do.
+func AsyncBlockJacobi(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, topo *topology.Topology, opts AsyncOptions) (*AsyncResult, error) {
+	n := a.Rows()
+	if opts.MaxTime <= 0 {
+		return nil, fmt.Errorf("iterative: AsyncOptions.MaxTime must be positive")
+	}
+	if opts.Exact != nil && len(opts.Exact) != n {
+		return nil, fmt.Errorf("iterative: Exact has length %d, want %d", len(opts.Exact), n)
+	}
+	blocks, err := buildBlocks(a, b, assign)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Tol < 0 {
+		return nil, fmt.Errorf("iterative: AsyncOptions.Tol must be non-negative")
+	}
+	procMap := opts.ProcMap
+	if procMap == nil {
+		if topo.N() < len(blocks) {
+			return nil, fmt.Errorf("iterative: %d blocks but only %d processors", len(blocks), topo.N())
+		}
+		procMap = make([]int, len(blocks))
+		for i := range procMap {
+			procMap[i] = i
+		}
+	} else {
+		if len(procMap) != len(blocks) {
+			return nil, fmt.Errorf("iterative: process map covers %d blocks, want %d", len(procMap), len(blocks))
+		}
+		for blk, p := range procMap {
+			if p < 0 || p >= topo.N() {
+				return nil, fmt.Errorf("iterative: block %d mapped to processor %d, out of range [0,%d)", blk, p, topo.N())
+			}
+		}
+	}
+	delay := func(from, to int) float64 { return topo.Delay(procMap[from], procMap[to]) }
+
+	compute := opts.ComputeTime
+	if compute <= 0 {
+		minDelay := math.Inf(1)
+		for _, blk := range blocks {
+			for _, q := range blk.adjacent {
+				if d := delay(blk.part, q); d < minDelay {
+					minDelay = d
+				}
+			}
+		}
+		if math.IsInf(minDelay, 1) {
+			minDelay = 1
+		}
+		compute = 0.05 * minDelay
+	}
+
+	eng := &ajEngine{
+		blocks: blocks,
+		x:      sparse.NewVec(n),
+		exact:  opts.Exact,
+		last:   make([]float64, len(blocks)),
+		solved: make([]bool, len(blocks)),
+		opts:   &opts,
+	}
+	for i := range eng.last {
+		eng.last[i] = math.Inf(1)
+	}
+
+	nodes := make([]netsim.Node, len(blocks))
+	for p, blk := range blocks {
+		nodes[p] = &ajNode{
+			eng:     eng,
+			blk:     blk,
+			xView:   sparse.NewVec(n),
+			local:   sparse.NewVec(len(blk.own)),
+			compute: compute,
+		}
+	}
+	sim := netsim.New(nodes, delay)
+	sim.SetObserver(func(now float64, node int) {
+		if !opts.RecordTrace {
+			return
+		}
+		rms := math.NaN()
+		if eng.exact != nil {
+			rms = eng.x.RMSError(eng.exact)
+		}
+		eng.trace = append(eng.trace, AsyncTracePoint{Time: now, RMSError: rms, Solves: eng.solves})
+	})
+	converged := false
+	sim.SetStopCondition(func(now float64) bool {
+		if opts.Tol <= 0 {
+			return false
+		}
+		for p := range blocks {
+			if !eng.solved[p] || eng.last[p] > opts.Tol {
+				return false
+			}
+		}
+		// The per-block change test alone can fire spuriously: a block that
+		// re-solves against halo values that have not changed (e.g. a second
+		// batch of the initial zero announcements) reports a zero update even
+		// though the real exchange has barely started. Confirm with the global
+		// relative residual, which is only evaluated when the cheap per-block
+		// test already passes.
+		if relResidual(a, eng.x, b) > opts.Tol {
+			return false
+		}
+		converged = true
+		return true
+	})
+
+	stats := sim.Run(opts.MaxTime)
+	res := &AsyncResult{
+		X:         eng.x.Clone(),
+		Converged: converged,
+		FinalTime: stats.Time,
+		Solves:    eng.solves,
+		Messages:  stats.Messages,
+		Trace:     eng.trace,
+		RMSError:  math.NaN(),
+	}
+	if opts.Exact != nil {
+		res.RMSError = res.X.RMSError(opts.Exact)
+	}
+	res.Residual = relResidual(a, res.X, b)
+	return res, nil
+}

@@ -1,0 +1,291 @@
+package iterative
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// smallSystem returns an SPD system small enough for a dense reference solve.
+func smallSystem(t *testing.T) (sparse.System, sparse.Vec) {
+	t.Helper()
+	sys := sparse.Poisson2D(7, 7, 0.05)
+	exact, err := dense.SolveExact(sys.A, sys.B)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	return sys, exact
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys, exact := smallSystem(t)
+	bad := []Config{
+		{},                           // no iteration bound
+		{MaxIterations: -1},          // negative bound
+		{MaxIterations: 10, Tol: -1}, // negative tolerance
+		{MaxIterations: 10, Exact: sparse.Vec{1, 2}}, // wrong exact length
+	}
+	for i, cfg := range bad {
+		if _, _, err := CG(sys.A, sys.B, cfg); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+	_ = exact
+}
+
+func TestCGSolvesPoisson(t *testing.T) {
+	sys, exact := smallSystem(t)
+	x, st, err := CG(sys.A, sys.B, Config{MaxIterations: 1000, Tol: 1e-12, Exact: exact})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("CG did not converge in %d iterations", st.Iterations)
+	}
+	if !x.Equal(exact, 1e-8) {
+		t.Errorf("CG solution error %g", x.MaxAbsDiff(exact))
+	}
+	if st.Residual > 1e-11 {
+		t.Errorf("residual = %g", st.Residual)
+	}
+	// CG on an SPD system of dimension n converges in at most n steps (here far
+	// fewer); the error trace must be recorded and decreasing overall.
+	if st.Iterations > sys.Dim() {
+		t.Errorf("CG used %d iterations on an n=%d SPD system", st.Iterations, sys.Dim())
+	}
+	if len(st.ErrorTrace) != st.Iterations {
+		t.Errorf("error trace has %d entries for %d iterations", len(st.ErrorTrace), st.Iterations)
+	}
+	if st.ErrorTrace[len(st.ErrorTrace)-1] > st.ErrorTrace[0] {
+		t.Errorf("error trace does not decrease")
+	}
+}
+
+func TestStationaryMethodsConverge(t *testing.T) {
+	sys, exact := smallSystem(t)
+	type method struct {
+		name string
+		run  func() (sparse.Vec, Stats, error)
+	}
+	methods := []method{
+		{"jacobi", func() (sparse.Vec, Stats, error) {
+			return Jacobi(sys.A, sys.B, 1, Config{MaxIterations: 20000, Tol: 1e-10})
+		}},
+		{"damped jacobi", func() (sparse.Vec, Stats, error) {
+			return Jacobi(sys.A, sys.B, 0.8, Config{MaxIterations: 20000, Tol: 1e-10})
+		}},
+		{"gauss-seidel", func() (sparse.Vec, Stats, error) {
+			return GaussSeidel(sys.A, sys.B, Config{MaxIterations: 20000, Tol: 1e-10})
+		}},
+		{"sor", func() (sparse.Vec, Stats, error) {
+			return SOR(sys.A, sys.B, 1.5, Config{MaxIterations: 20000, Tol: 1e-10})
+		}},
+	}
+	iterations := map[string]int{}
+	for _, m := range methods {
+		x, st, err := m.run()
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if !st.Converged {
+			t.Errorf("%s did not converge", m.name)
+			continue
+		}
+		if !x.Equal(exact, 1e-6) {
+			t.Errorf("%s error %g", m.name, x.MaxAbsDiff(exact))
+		}
+		iterations[m.name] = st.Iterations
+	}
+	// Gauss-Seidel must beat Jacobi and SOR(1.5) must beat Gauss-Seidel on this
+	// well-behaved Poisson problem — the classical ordering.
+	if iterations["gauss-seidel"] >= iterations["jacobi"] {
+		t.Errorf("Gauss-Seidel (%d) should need fewer sweeps than Jacobi (%d)", iterations["gauss-seidel"], iterations["jacobi"])
+	}
+	if iterations["sor"] >= iterations["gauss-seidel"] {
+		t.Errorf("SOR (%d) should need fewer sweeps than Gauss-Seidel (%d)", iterations["sor"], iterations["gauss-seidel"])
+	}
+}
+
+func TestJacobiRejectsBadOmegaAndSORRange(t *testing.T) {
+	sys, _ := smallSystem(t)
+	if _, _, err := Jacobi(sys.A, sys.B, 0, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("omega = 0 must be rejected")
+	}
+	if _, _, err := SOR(sys.A, sys.B, 2.5, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("SOR omega outside (0,2) must be rejected")
+	}
+	if _, _, err := SOR(sys.A, sys.B, -0.1, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("negative SOR omega must be rejected")
+	}
+}
+
+func TestMethodsRejectZeroDiagonal(t *testing.T) {
+	a := sparse.NewCSRFromDense([][]float64{{0, 1}, {1, 0}}, 0)
+	b := sparse.Vec{1, 1}
+	if _, _, err := Jacobi(a, b, 1, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("Jacobi must reject a zero diagonal")
+	}
+	if _, _, err := GaussSeidel(a, b, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("Gauss-Seidel must reject a zero diagonal")
+	}
+}
+
+func TestNonConvergenceIsReported(t *testing.T) {
+	sys, _ := smallSystem(t)
+	_, st, err := Jacobi(sys.A, sys.B, 1, Config{MaxIterations: 3, Tol: 1e-14})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if st.Converged {
+		t.Errorf("three Jacobi sweeps cannot reach 1e-14")
+	}
+	if st.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", st.Iterations)
+	}
+}
+
+func TestBlockJacobiConverges(t *testing.T) {
+	sys, exact := smallSystem(t)
+	assign := partition.GridBlocks(7, 7, 2, 2)
+	x, st, err := BlockJacobi(sys.A, sys.B, assign, Config{MaxIterations: 2000, Tol: 1e-11, Exact: exact})
+	if err != nil {
+		t.Fatalf("BlockJacobi: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("block-Jacobi did not converge")
+	}
+	if !x.Equal(exact, 1e-7) {
+		t.Errorf("block-Jacobi error %g", x.MaxAbsDiff(exact))
+	}
+	// Block Jacobi with 4 blocks must need (weakly) fewer sweeps than point
+	// Jacobi: bigger blocks absorb more of the coupling.
+	_, pt, err := Jacobi(sys.A, sys.B, 1, Config{MaxIterations: 20000, Tol: 1e-11})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if st.Iterations > pt.Iterations {
+		t.Errorf("block-Jacobi (%d sweeps) should not be slower than point Jacobi (%d)", st.Iterations, pt.Iterations)
+	}
+}
+
+func TestBlockJacobiValidation(t *testing.T) {
+	sys, _ := smallSystem(t)
+	if _, _, err := BlockJacobi(sys.A, sys.B, partition.Assignment{Parts: 2, Assign: []int{0, 1}}, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("assignment length mismatch must be rejected")
+	}
+	bad := partition.Assignment{Parts: 2, Assign: make([]int, sys.Dim())} // part 1 empty
+	if _, _, err := BlockJacobi(sys.A, sys.B, bad, Config{MaxIterations: 10}); err == nil {
+		t.Errorf("an empty part must be rejected")
+	}
+}
+
+func TestAsyncBlockJacobiConvergesOnUniformMachine(t *testing.T) {
+	sys, exact := smallSystem(t)
+	assign := partition.GridBlocks(7, 7, 2, 2)
+	topo := topology.Uniform(4, 10, "u4")
+	res, err := AsyncBlockJacobi(sys.A, sys.B, assign, topo, AsyncOptions{
+		MaxTime:     100000,
+		Tol:         1e-10,
+		Exact:       exact,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatalf("AsyncBlockJacobi: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("asynchronous block-Jacobi did not converge (error %g)", res.RMSError)
+	}
+	if !res.X.Equal(exact, 1e-6) {
+		t.Errorf("solution error %g", res.X.MaxAbsDiff(exact))
+	}
+	if res.Solves == 0 || res.Messages == 0 {
+		t.Errorf("no work recorded: %+v", res)
+	}
+	if len(res.Trace) == 0 {
+		t.Errorf("no trace recorded")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time < res.Trace[i-1].Time {
+			t.Errorf("trace times not monotone")
+			break
+		}
+	}
+}
+
+func TestAsyncBlockJacobiHeterogeneousDelays(t *testing.T) {
+	// The asynchronous baseline also converges on the heterogeneous machine for
+	// this strongly dominant system; the point of the DTM comparison is speed,
+	// not a failure to converge.
+	sys, exact := smallSystem(t)
+	assign := partition.GridBlocks(7, 7, 2, 2)
+	topo := topology.MeshUniformRandom(2, 2, 10, 99, 5, "hetero 2x2")
+	res, err := AsyncBlockJacobi(sys.A, sys.B, assign, topo, AsyncOptions{
+		MaxTime: 200000,
+		Tol:     1e-9,
+		Exact:   exact,
+	})
+	if err != nil {
+		t.Fatalf("AsyncBlockJacobi: %v", err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: error %g", res.RMSError)
+	}
+}
+
+func TestAsyncBlockJacobiValidation(t *testing.T) {
+	sys, _ := smallSystem(t)
+	assign := partition.GridBlocks(7, 7, 2, 2)
+	topo := topology.Uniform(4, 10, "u4")
+	if _, err := AsyncBlockJacobi(sys.A, sys.B, assign, topo, AsyncOptions{}); err == nil {
+		t.Errorf("a zero time horizon must be rejected")
+	}
+	if _, err := AsyncBlockJacobi(sys.A, sys.B, assign, topology.Uniform(2, 10, "u2"), AsyncOptions{MaxTime: 100}); err == nil {
+		t.Errorf("too few processors must be rejected")
+	}
+	if _, err := AsyncBlockJacobi(sys.A, sys.B, assign, topo, AsyncOptions{MaxTime: 100, ProcMap: []int{0, 1}}); err == nil {
+		t.Errorf("a short process map must be rejected")
+	}
+}
+
+// Property: on random strictly diagonally dominant SPD systems, CG and
+// Gauss-Seidel agree with each other to the requested tolerance.
+func TestSolversAgreeProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 5 + int(rawN%30)
+		sys := sparse.RandomSPD(n, 0.15, seed)
+		xc, stc, err := CG(sys.A, sys.B, Config{MaxIterations: 10 * n, Tol: 1e-12})
+		if err != nil || !stc.Converged {
+			return false
+		}
+		xg, stg, err := GaussSeidel(sys.A, sys.B, Config{MaxIterations: 20000, Tol: 1e-12})
+		if err != nil || !stg.Converged {
+			return false
+		}
+		return xc.Equal(xg, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the relative residual reported by every solver matches an
+// independent recomputation.
+func TestReportedResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sys := sparse.RandomSPD(20, 0.2, seed)
+		x, st, err := CG(sys.A, sys.B, Config{MaxIterations: 500, Tol: 1e-10})
+		if err != nil {
+			return false
+		}
+		want := sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2()
+		return math.Abs(st.Residual-want) <= 1e-12+1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package iterative
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func TestJacobiPreconditionerApply(t *testing.T) {
+	a := sparse.NewCSRFromDense([][]float64{{2, 0}, {0, 4}}, 0)
+	m, err := NewJacobiPreconditioner(a)
+	if err != nil {
+		t.Fatalf("NewJacobiPreconditioner: %v", err)
+	}
+	if m.Name() == "" {
+		t.Errorf("preconditioner must have a name")
+	}
+	dst := sparse.NewVec(2)
+	m.Apply(dst, sparse.Vec{2, 2})
+	if !dst.Equal(sparse.Vec{1, 0.5}, 1e-14) {
+		t.Errorf("Apply = %v, want [1 0.5]", dst)
+	}
+}
+
+func TestJacobiPreconditionerRejectsBadDiagonal(t *testing.T) {
+	a := sparse.NewCSRFromDense([][]float64{{0, 1}, {1, 2}}, 0)
+	if _, err := NewJacobiPreconditioner(a); err == nil {
+		t.Errorf("zero diagonal must be rejected")
+	}
+	neg := sparse.NewCSRFromDense([][]float64{{-1, 0}, {0, 2}}, 0)
+	if _, err := NewJacobiPreconditioner(neg); err == nil {
+		t.Errorf("negative diagonal must be rejected")
+	}
+}
+
+func TestBlockJacobiPreconditionerApplyIsBlockSolve(t *testing.T) {
+	sys := sparse.Poisson2D(6, 6, 0.05)
+	assign := partition.GridBlocks(6, 6, 2, 2)
+	m, err := NewBlockJacobiPreconditioner(sys.A, assign)
+	if err != nil {
+		t.Fatalf("NewBlockJacobiPreconditioner: %v", err)
+	}
+	r := sparse.RandomVec(36, 3)
+	z := sparse.NewVec(36)
+	m.Apply(z, r)
+	// For every block, A_pp · z_p must equal r_p exactly (no off-block terms).
+	for p := 0; p < 4; p++ {
+		var own []int
+		for v, part := range assign.Assign {
+			if part == p {
+				own = append(own, v)
+			}
+		}
+		app := sys.A.Submatrix(own, own)
+		lhs := app.MulVec(z.Gather(own))
+		if !lhs.Equal(r.Gather(own), 1e-9) {
+			t.Errorf("block %d: A_pp·z_p != r_p (max diff %g)", p, lhs.MaxAbsDiff(r.Gather(own)))
+		}
+	}
+}
+
+func TestPCGWithNilPreconditionerIsCG(t *testing.T) {
+	sys, exact := smallSystem(t)
+	x, st, err := PCG(sys.A, sys.B, nil, Config{MaxIterations: 500, Tol: 1e-12})
+	if err != nil || !st.Converged {
+		t.Fatalf("PCG(nil): %v converged=%v", err, st.Converged)
+	}
+	if !x.Equal(exact, 1e-8) {
+		t.Errorf("solution error %g", x.MaxAbsDiff(exact))
+	}
+}
+
+func TestPCGConvergesFasterWithBlockPreconditioner(t *testing.T) {
+	// A badly scaled SPD system: the diagonal spans several orders of
+	// magnitude, which slows plain CG but is absorbed by the preconditioners.
+	base := sparse.Poisson2D(12, 12, 0.05)
+	scale := sparse.NewVec(base.Dim())
+	for i := range scale {
+		scale[i] = 1 + float64(i%7)*30
+	}
+	coo := sparse.NewCOO(base.Dim(), base.Dim())
+	base.A.Each(func(i, j int, v float64) {
+		coo.Add(i, j, v*scale[i]*scale[j])
+	})
+	sys := sparse.System{A: coo.ToCSR(), B: base.B, Name: "scaled-poisson"}
+
+	cfg := Config{MaxIterations: 4000, Tol: 1e-10}
+	_, plain, err := CG(sys.A, sys.B, cfg)
+	if err != nil || !plain.Converged {
+		t.Fatalf("CG failed: %v", err)
+	}
+	jac, err := NewJacobiPreconditioner(sys.A)
+	if err != nil {
+		t.Fatalf("NewJacobiPreconditioner: %v", err)
+	}
+	xj, withJacobi, err := PCG(sys.A, sys.B, jac, cfg)
+	if err != nil || !withJacobi.Converged {
+		t.Fatalf("PCG(jacobi) failed: %v", err)
+	}
+	blk, err := NewBlockJacobiPreconditioner(sys.A, partition.GridBlocks(12, 12, 2, 2))
+	if err != nil {
+		t.Fatalf("NewBlockJacobiPreconditioner: %v", err)
+	}
+	xb, withBlock, err := PCG(sys.A, sys.B, blk, cfg)
+	if err != nil || !withBlock.Converged {
+		t.Fatalf("PCG(block) failed: %v", err)
+	}
+	if withJacobi.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi preconditioning should help on a badly scaled system: %d vs %d iterations",
+			withJacobi.Iterations, plain.Iterations)
+	}
+	if withBlock.Iterations > withJacobi.Iterations {
+		t.Errorf("block preconditioning (%d iters) should not be worse than diagonal (%d)",
+			withBlock.Iterations, withJacobi.Iterations)
+	}
+	// All three agree on the answer.
+	if !xj.Equal(xb, 1e-6) {
+		t.Errorf("preconditioned solutions disagree by %g", xj.MaxAbsDiff(xb))
+	}
+}
+
+func TestPCGValidation(t *testing.T) {
+	sys, _ := smallSystem(t)
+	jac, err := NewJacobiPreconditioner(sys.A)
+	if err != nil {
+		t.Fatalf("NewJacobiPreconditioner: %v", err)
+	}
+	if _, _, err := PCG(sys.A, sys.B, jac, Config{}); err == nil {
+		t.Errorf("missing iteration bound must be rejected")
+	}
+}
+
+// Property: PCG with the Jacobi preconditioner and plain CG agree on random
+// SPD systems.
+func TestPCGAgreesWithCGProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 5 + int(rawN%25)
+		sys := sparse.RandomSPD(n, 0.15, seed)
+		jac, err := NewJacobiPreconditioner(sys.A)
+		if err != nil {
+			return false
+		}
+		xp, stp, err := PCG(sys.A, sys.B, jac, Config{MaxIterations: 10 * n, Tol: 1e-12})
+		if err != nil || !stp.Converged {
+			return false
+		}
+		xc, stc, err := CG(sys.A, sys.B, Config{MaxIterations: 10 * n, Tol: 1e-12})
+		if err != nil || !stc.Converged {
+			return false
+		}
+		return xp.Equal(xc, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package netsim is a deterministic discrete-event simulator of a
+// message-passing parallel machine. It plays the role of the MATLAB/SIMULINK
+// "DTM toolbox" the paper's experiments ran on: every processor is a Node with
+// its own compute time, every directed link has its own delay, and the
+// simulator advances a virtual continuous-time clock, delivering messages and
+// activating nodes in exact timestamp order. Because every tie is broken by a
+// deterministic sequence number, two runs with the same inputs produce exactly
+// the same trajectories — which is what makes the paper's figures reproducible.
+//
+// The asynchrony semantics match the DTM algorithm of Table 1: a node sleeps
+// until at least one message has been delivered to it, then wakes up, consumes
+// everything in its inbox at once, computes for ComputeTime virtual seconds,
+// and hands the simulator the messages to send; each message arrives at its
+// destination after the directed link delay. There is no synchronisation and
+// no broadcast — only neighbour-to-neighbour messages.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From, To    int
+	Payload     any
+	SendTime    float64
+	DeliverTime float64
+}
+
+// Outgoing is a message a node wants to send; the simulator fills in the times.
+type Outgoing struct {
+	To      int
+	Payload any
+}
+
+// Node is a processor participating in the simulation.
+type Node interface {
+	// Init is called once at virtual time 0 and returns the node's initial
+	// messages (DTM's "guess the initial boundary conditions and send them").
+	Init(now float64) []Outgoing
+	// OnMessages is called when the node, being idle, has at least one
+	// delivered message. now is the virtual time at which the node finishes
+	// processing the batch (its wake-up time plus its compute time); msgs is
+	// the batch, in delivery order. The returned messages are sent at now.
+	OnMessages(now float64, msgs []Message) []Outgoing
+	// ComputeTime returns how long (in virtual time) processing a batch of the
+	// given size takes.
+	ComputeTime(batchSize int) float64
+}
+
+// DelayFunc returns the delay of the directed link from one node to another.
+// It must be strictly positive for distinct nodes.
+type DelayFunc func(from, to int) float64
+
+// Observer is called after every node activation with the completion time and
+// the node that just computed; the DTM convergence monitor hooks in here.
+type Observer func(now float64, node int)
+
+// Stats summarises a simulation run.
+type Stats struct {
+	// Time is the virtual time at which the simulation stopped.
+	Time float64
+	// Messages is the number of messages delivered.
+	Messages int
+	// Activations is the number of node batch activations.
+	Activations int
+	// BatchedMessages is the total number of messages consumed in batches
+	// (equals Messages at the end of a run that drained its queues).
+	BatchedMessages int
+	// StoppedEarly is true when a StopCondition ended the run before MaxTime
+	// and before the event queue drained.
+	StoppedEarly bool
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evFree
+)
+
+type event struct {
+	time float64
+	seq  int64
+	kind int
+	node int
+	msg  Message
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event simulator over a fixed set of
+// nodes and a delay function.
+type Simulator struct {
+	nodes []Node
+	delay DelayFunc
+
+	queue eventQueue
+	seq   int64
+
+	inbox [][]Message
+	busy  []bool
+
+	now float64
+
+	observer Observer
+	// stop is checked after every node activation.
+	stop func(now float64) bool
+
+	stats Stats
+}
+
+// New returns a simulator over the given nodes with the given link delays.
+func New(nodes []Node, delay DelayFunc) *Simulator {
+	if len(nodes) == 0 {
+		panic("netsim: New requires at least one node")
+	}
+	if delay == nil {
+		panic("netsim: New requires a delay function")
+	}
+	s := &Simulator{
+		nodes: nodes,
+		delay: delay,
+		inbox: make([][]Message, len(nodes)),
+		busy:  make([]bool, len(nodes)),
+	}
+	heap.Init(&s.queue)
+	return s
+}
+
+// SetObserver registers a callback invoked after every node activation.
+func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+
+// SetStopCondition registers a predicate checked after every node activation;
+// when it returns true the run ends early.
+func (s *Simulator) SetStopCondition(stop func(now float64) bool) { s.stop = stop }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+func (s *Simulator) schedule(t float64, kind, node int, msg Message) {
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, kind: kind, node: node, msg: msg})
+}
+
+func (s *Simulator) send(from int, now float64, outs []Outgoing) {
+	for _, o := range outs {
+		if o.To < 0 || o.To >= len(s.nodes) {
+			panic(fmt.Sprintf("netsim: node %d sent a message to unknown node %d", from, o.To))
+		}
+		d := s.delay(from, o.To)
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			panic(fmt.Sprintf("netsim: delay from %d to %d must be positive and finite, got %g", from, o.To, d))
+		}
+		msg := Message{From: from, To: o.To, Payload: o.Payload, SendTime: now, DeliverTime: now + d}
+		s.schedule(msg.DeliverTime, evArrival, o.To, msg)
+	}
+}
+
+// startNode lets an idle node with a non-empty inbox consume its batch.
+func (s *Simulator) startNode(node int, start float64) {
+	batch := s.inbox[node]
+	if len(batch) == 0 || s.busy[node] {
+		return
+	}
+	s.inbox[node] = nil
+	s.busy[node] = true
+	d := s.nodes[node].ComputeTime(len(batch))
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("netsim: node %d returned negative compute time %g", node, d))
+	}
+	done := start + d
+	outs := s.nodes[node].OnMessages(done, batch)
+	s.stats.Activations++
+	s.stats.BatchedMessages += len(batch)
+	s.send(node, done, outs)
+	// The node becomes free at `done`; schedule the event so queued arrivals
+	// received meanwhile get processed then.
+	s.schedule(done, evFree, node, Message{})
+	if s.observer != nil {
+		s.observer(done, node)
+	}
+}
+
+// Run executes the simulation until the event queue drains, the virtual clock
+// exceeds maxTime, or the stop condition fires. It returns the run statistics.
+// Run may be called once per simulator.
+func (s *Simulator) Run(maxTime float64) Stats {
+	// Initial messages at time 0.
+	for i, n := range s.nodes {
+		s.send(i, 0, n.Init(0))
+	}
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.time > maxTime {
+			s.now = maxTime
+			s.stats.Time = maxTime
+			return s.stats
+		}
+		s.now = e.time
+		switch e.kind {
+		case evArrival:
+			s.stats.Messages++
+			s.inbox[e.node] = append(s.inbox[e.node], e.msg)
+			if !s.busy[e.node] {
+				s.startNode(e.node, e.time)
+				if s.stop != nil && s.stop(s.now) {
+					s.stats.Time = s.now
+					s.stats.StoppedEarly = true
+					return s.stats
+				}
+			}
+		case evFree:
+			s.busy[e.node] = false
+			if len(s.inbox[e.node]) > 0 {
+				s.startNode(e.node, e.time)
+				if s.stop != nil && s.stop(s.now) {
+					s.stats.Time = s.now
+					s.stats.StoppedEarly = true
+					return s.stats
+				}
+			}
+		}
+	}
+	s.stats.Time = s.now
+	return s.stats
+}

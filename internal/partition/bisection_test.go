@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func TestRecursiveBisectionBalancedOnGrid(t *testing.T) {
+	g := gridGraph(t, 10, 10)
+	for _, parts := range []int{2, 3, 4, 6, 8} {
+		a := RecursiveBisection(g, parts)
+		if err := a.Validate(100); err != nil {
+			t.Errorf("parts=%d: invalid assignment: %v", parts, err)
+			continue
+		}
+		if a.Parts != parts {
+			t.Errorf("parts=%d: got %d parts", parts, a.Parts)
+		}
+		if a.Imbalance() > 1.35 {
+			t.Errorf("parts=%d: imbalance %g", parts, a.Imbalance())
+		}
+	}
+}
+
+func TestRecursiveBisectionSinglePartAndOversized(t *testing.T) {
+	g := gridGraph(t, 3, 3)
+	one := RecursiveBisection(g, 1)
+	if one.Parts != 1 {
+		t.Errorf("Parts = %d", one.Parts)
+	}
+	for _, p := range one.Assign {
+		if p != 0 {
+			t.Errorf("single part must map everything to 0")
+		}
+	}
+	// Requesting more parts than vertices must clamp, not fail.
+	many := RecursiveBisection(g, 50)
+	if err := many.Validate(9); err != nil {
+		t.Errorf("oversized request produced an invalid assignment: %v", err)
+	}
+	if many.Parts > 9 {
+		t.Errorf("parts = %d for a 9-vertex graph", many.Parts)
+	}
+}
+
+func TestRecursiveBisectionCutIsLocal(t *testing.T) {
+	// On a square grid the row-major strips partition is essentially the
+	// optimal slab decomposition (3 straight interfaces of 12 couplings each).
+	// BFS bisection does not recover straight interfaces exactly, but its cut
+	// must stay within a small factor of the slab cut — far below the ~50% of
+	// all edges a locality-oblivious partition would sever.
+	g := gridGraph(t, 12, 12)
+	bis := RecursiveBisection(g, 4)
+	slab := EdgeCut(g, Strips(144, 4))
+	cut := EdgeCut(g, bis)
+	if cut > 2*slab {
+		t.Errorf("bisection cut %d edges, more than twice the slab cut %d", cut, slab)
+	}
+	if cut >= g.NumEdges()/4 {
+		t.Errorf("bisection cut %d of %d edges — no locality at all", cut, g.NumEdges())
+	}
+}
+
+func TestRecursiveBisectionWorksWithEVS(t *testing.T) {
+	sys := sparse.RandomSPD(60, 0.08, 9)
+	g, err := graph.FromSystem(sys.A, sys.B)
+	if err != nil {
+		t.Fatalf("FromSystem: %v", err)
+	}
+	a := RecursiveBisection(g, 4)
+	res, err := EVS(g, a, Options{})
+	if err != nil {
+		t.Fatalf("EVS on a bisection assignment: %v", err)
+	}
+	checkEVSInvariants(t, sys, res)
+}
+
+// Property: RecursiveBisection always produces a valid assignment with the
+// requested number of (non-empty) parts for arbitrary random graphs.
+func TestRecursiveBisectionValidityProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawP uint8) bool {
+		n := 6 + int(rawN%60)
+		parts := 2 + int(rawP%6)
+		sys := sparse.RandomSPD(n, 0.1, seed)
+		g, err := graph.FromSystem(sys.A, sys.B)
+		if err != nil {
+			return false
+		}
+		a := RecursiveBisection(g, parts)
+		if err := a.Validate(n); err != nil {
+			return false
+		}
+		return a.Parts == parts || (parts > n && a.Parts == n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

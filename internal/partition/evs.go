@@ -1,0 +1,584 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Subdomain is one subgraph M_j produced by EVS, already mapped back to a
+// linear system as in equation (4.3) of the paper:
+//
+//	[ C E ] [u]   [f]   [ω]
+//	[ F D ] [y] = [g] + [0]
+//
+// The local vertices are ordered ports first (Γ_{j,port}) then inner vertices
+// (Γ_{j,inner}); A holds the full [C E; F D] block matrix and B holds [f; g].
+type Subdomain struct {
+	// Part is the index of this subdomain.
+	Part int
+	// NumPorts is the number of ports (split-vertex copies) in this subdomain;
+	// local indices [0, NumPorts) are ports, the rest are inner vertices.
+	NumPorts int
+	// GlobalIdx maps local vertex index to the original (global) vertex id.
+	// Several subdomains may map a port to the same global vertex — those are
+	// the twin copies of a split vertex.
+	GlobalIdx []int
+	// A is the local coefficient matrix [C E; F D].
+	A *sparse.CSR
+	// B is the local right-hand side [f; g] (inflow currents not included).
+	B sparse.Vec
+}
+
+// Dim returns the number of local unknowns (ports + inner vertices).
+func (s *Subdomain) Dim() int { return len(s.GlobalIdx) }
+
+// NumInner returns the number of inner vertices.
+func (s *Subdomain) NumInner() int { return len(s.GlobalIdx) - s.NumPorts }
+
+// PortGlobal returns the global vertex id of port p.
+func (s *Subdomain) PortGlobal(p int) int { return s.GlobalIdx[p] }
+
+// TwinLink is one pair of twin ports — the place where the DTM engine inserts
+// a directed transmission line pair (DTLP). PartA/PortA and PartB/PortB are
+// two copies of the split vertex Global.
+type TwinLink struct {
+	// ID is the index of this link in Result.Links.
+	ID int
+	// Global is the original vertex that was split.
+	Global int
+	// PartA and PartB are the two subdomains joined by this link.
+	PartA, PartB int
+	// PortA and PortB are the local port indices of the copies inside PartA
+	// and PartB respectively.
+	PortA, PortB int
+}
+
+// Other returns the (part, port) at the far side of the link from the given part.
+func (l TwinLink) Other(part int) (int, int) {
+	if part == l.PartA {
+		return l.PartB, l.PortB
+	}
+	if part == l.PartB {
+		return l.PartA, l.PortA
+	}
+	panic(fmt.Sprintf("partition: part %d is not an endpoint of link %d", part, l.ID))
+}
+
+// SplitVertex records how one boundary vertex was torn apart: which parts
+// received a copy and how its weight and source were distributed.
+type SplitVertex struct {
+	Global  int
+	Parts   []int // sorted
+	Weights []float64
+	Sources []float64
+}
+
+// Result is the full output of EVS: the per-part subsystems, the twin links,
+// and the bookkeeping needed to assemble global solutions back together.
+type Result struct {
+	// Assign is the vertex-to-part assignment EVS was applied to.
+	Assign Assignment
+	// Boundary is the splitting boundary G_B that was actually used (sorted).
+	Boundary []int
+	// Subdomains holds one entry per part, indexed by part id.
+	Subdomains []*Subdomain
+	// Links holds every twin link (DTLP site).
+	Links []TwinLink
+	// Splits records every split vertex.
+	Splits []SplitVertex
+
+	// portIndex[part][global] = local port index of global's copy in part.
+	portIndex []map[int]int
+	// original system dimension.
+	n int
+}
+
+// BoundaryRule selects how the splitting boundary G_B is derived from a
+// vertex-to-part assignment when no explicit boundary is supplied.
+type BoundaryRule int
+
+const (
+	// OneSided puts, for every edge whose endpoints lie in different parts,
+	// the endpoint of the lower-numbered part into the boundary. This yields
+	// a one-layer vertex separator — the wire tearing of Section 4 of the
+	// paper — and is the default.
+	OneSided BoundaryRule = iota
+	// TwoSided puts both endpoints of every cut edge into the boundary, so a
+	// two-layer separator is split. It creates more ports and links but makes
+	// the two sides of every cut symmetric.
+	TwoSided
+)
+
+// Options configures Electric Vertex Splitting.
+type Options struct {
+	// Boundary, when non-empty, is the explicit splitting boundary G_B
+	// (Step 1 of Section 4). It must cover every cut edge: for every edge
+	// whose endpoints are assigned to different parts, at least one endpoint
+	// must be in the boundary. When empty the boundary is derived from the
+	// assignment using Rule.
+	Boundary []int
+	// Rule selects the automatic boundary derivation (default OneSided).
+	Rule BoundaryRule
+	// VertexSplit, when non-nil, decides how the weight and source of a split
+	// vertex are distributed over its copies. parts is sorted; the returned
+	// slices must have the same length as parts and sum to weight and source
+	// respectively. When nil, the dominance-proportional default is used.
+	VertexSplit func(global int, parts []int, weight, source float64) (weights, sources []float64)
+	// EdgeSplit, when non-nil, decides how an edge joining two boundary
+	// vertices of different home parts is split; it returns the share for u's
+	// part and the share for v's part, summing to weight. When nil the edge
+	// is split evenly.
+	EdgeSplit func(u, v int, weight float64) (wu, wv float64)
+}
+
+// EVS applies Electric Vertex Splitting (wire tearing) to the electric graph g
+// under the given assignment and returns the per-part subsystems, twin links
+// and split records. The construction follows the four steps of Section 4:
+//
+//  1. choose the splitting boundary G_B (explicit, or derived from the cut
+//     edges of the assignment);
+//  2. split each boundary vertex into one copy per part it touches (two
+//     copies along a boundary line — level-one tearing; more where several
+//     parts meet — the level-two / multilevel tearing of Fig. 6);
+//  3. split its weight, its source, and the edges joining boundary vertices
+//     of different parts, so that the per-part subsystems sum back to the
+//     original system exactly;
+//  4. introduce the inflow-current structure: every copy is a port and
+//     consecutive copies (in part order) of the same vertex are twin-linked.
+func EVS(g *graph.Electric, a Assignment, opts Options) (*Result, error) {
+	n := g.Order()
+	if err := a.Validate(n); err != nil {
+		return nil, err
+	}
+	assign := a.Assign
+
+	// Step 1: establish the splitting boundary.
+	inBoundary := make([]bool, n)
+	if len(opts.Boundary) > 0 {
+		for _, v := range opts.Boundary {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("partition: boundary vertex %d out of range [0,%d)", v, n)
+			}
+			inBoundary[v] = true
+		}
+	} else {
+		for _, e := range g.Edges() {
+			if assign[e.U] == assign[e.V] {
+				continue
+			}
+			switch opts.Rule {
+			case TwoSided:
+				inBoundary[e.U] = true
+				inBoundary[e.V] = true
+			default: // OneSided
+				if assign[e.U] < assign[e.V] {
+					inBoundary[e.U] = true
+				} else {
+					inBoundary[e.V] = true
+				}
+			}
+		}
+	}
+	// Every cut edge must have a boundary endpoint, otherwise the subgraphs
+	// would not decouple.
+	for _, e := range g.Edges() {
+		if assign[e.U] != assign[e.V] && !inBoundary[e.U] && !inBoundary[e.V] {
+			return nil, fmt.Errorf("partition: edge {%d,%d} crosses parts %d/%d but neither endpoint is in the splitting boundary",
+				e.U, e.V, assign[e.U], assign[e.V])
+		}
+	}
+
+	// Step 2: determine which parts receive a copy of each boundary vertex.
+	// A vertex listed in the boundary but touching a single part is left whole.
+	isSplit := make([]bool, n)
+	vertexParts := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if !inBoundary[v] {
+			continue
+		}
+		set := map[int]bool{assign[v]: true}
+		for _, w := range g.Neighbors(v) {
+			set[assign[w]] = true
+		}
+		if len(set) < 2 {
+			continue
+		}
+		isSplit[v] = true
+		parts := make([]int, 0, len(set))
+		for p := range set {
+			parts = append(parts, p)
+		}
+		sort.Ints(parts)
+		vertexParts[v] = parts
+	}
+
+	// Step 3a: assign every edge (or edge fraction) to a part.
+	type localEdge struct {
+		u, v   int // global ids
+		weight float64
+	}
+	partEdges := make([][]localEdge, a.Parts)
+	// incident[v][part] accumulates Σ |assigned edge weight| per copy of v.
+	incident := make([]map[int]float64, n)
+	addIncident := func(v, part int, w float64) {
+		if !isSplit[v] {
+			return
+		}
+		if incident[v] == nil {
+			incident[v] = make(map[int]float64)
+		}
+		incident[v][part] += math.Abs(w)
+	}
+	for _, e := range g.Edges() {
+		u, v, w := e.U, e.V, e.Weight
+		pu, pv := assign[u], assign[v]
+		su, sv := isSplit[u], isSplit[v]
+		switch {
+		case !su && !sv:
+			// Both vertices stay whole; by the coverage check they live in the
+			// same part.
+			partEdges[pu] = append(partEdges[pu], localEdge{u, v, w})
+		case su != sv:
+			// Exactly one endpoint is split: the edge follows the whole
+			// endpoint into its home part, attaching to the split vertex's
+			// copy there (which exists because they are neighbours).
+			host := pu
+			if su {
+				host = pv
+			}
+			partEdges[host] = append(partEdges[host], localEdge{u, v, w})
+			addIncident(u, host, w)
+			addIncident(v, host, w)
+		default:
+			// Both endpoints are split.
+			if pu == pv {
+				partEdges[pu] = append(partEdges[pu], localEdge{u, v, w})
+				addIncident(u, pu, w)
+				addIncident(v, pu, w)
+				break
+			}
+			// The edge lies on the splitting boundary and its weight is split
+			// between the two home parts (Example 4.1: the −2 edge between V2
+			// and V3 becomes −0.9 and −1.1).
+			var wu, wv float64
+			if opts.EdgeSplit != nil {
+				wu, wv = opts.EdgeSplit(u, v, w)
+				if math.Abs(wu+wv-w) > 1e-9*(1+math.Abs(w)) {
+					return nil, fmt.Errorf("partition: EdgeSplit for edge {%d,%d} returned %g+%g, want sum %g", u, v, wu, wv, w)
+				}
+			} else {
+				wu, wv = w/2, w/2
+			}
+			if wu != 0 {
+				partEdges[pu] = append(partEdges[pu], localEdge{u, v, wu})
+				addIncident(u, pu, wu)
+				addIncident(v, pu, wu)
+			}
+			if wv != 0 {
+				partEdges[pv] = append(partEdges[pv], localEdge{u, v, wv})
+				addIncident(u, pv, wv)
+				addIncident(v, pv, wv)
+			}
+		}
+	}
+
+	// Step 3b: split the weight and source of every split vertex.
+	splits := make([]SplitVertex, 0)
+	splitWeight := make([]map[int]float64, n)
+	splitSource := make([]map[int]float64, n)
+	for v := 0; v < n; v++ {
+		if !isSplit[v] {
+			continue
+		}
+		parts := vertexParts[v]
+		weight := g.VertexWeight(v)
+		source := g.Source(v)
+		var weights, sources []float64
+		if opts.VertexSplit != nil {
+			weights, sources = opts.VertexSplit(v, parts, weight, source)
+			if len(weights) != len(parts) || len(sources) != len(parts) {
+				return nil, fmt.Errorf("partition: VertexSplit for vertex %d returned %d weights and %d sources, want %d", v, len(weights), len(sources), len(parts))
+			}
+			if sw, ss := sum(weights), sum(sources); math.Abs(sw-weight) > 1e-9*(1+math.Abs(weight)) || math.Abs(ss-source) > 1e-9*(1+math.Abs(source)) {
+				return nil, fmt.Errorf("partition: VertexSplit for vertex %d does not preserve weight/source sums (%g vs %g, %g vs %g)", v, sw, weight, ss, source)
+			}
+		} else {
+			weights, sources = defaultVertexSplit(parts, weight, source, incident[v])
+		}
+		sv := SplitVertex{Global: v, Parts: parts, Weights: weights, Sources: sources}
+		splits = append(splits, sv)
+		splitWeight[v] = make(map[int]float64, len(parts))
+		splitSource[v] = make(map[int]float64, len(parts))
+		for k, p := range parts {
+			splitWeight[v][p] = weights[k]
+			splitSource[v][p] = sources[k]
+		}
+	}
+
+	// Local vertex ordering: ports (split copies) first, then inner vertices,
+	// both by ascending global id.
+	portIndex := make([]map[int]int, a.Parts)
+	localIndex := make([]map[int]int, a.Parts)
+	globalIdx := make([][]int, a.Parts)
+	numPorts := make([]int, a.Parts)
+	for p := 0; p < a.Parts; p++ {
+		portIndex[p] = make(map[int]int)
+		localIndex[p] = make(map[int]int)
+	}
+	for _, sv := range splits {
+		for _, p := range sv.Parts {
+			portIndex[p][sv.Global] = len(globalIdx[p])
+			localIndex[p][sv.Global] = len(globalIdx[p])
+			globalIdx[p] = append(globalIdx[p], sv.Global)
+		}
+	}
+	for p := 0; p < a.Parts; p++ {
+		numPorts[p] = len(globalIdx[p])
+	}
+	for v := 0; v < n; v++ {
+		if isSplit[v] {
+			continue
+		}
+		p := assign[v]
+		localIndex[p][v] = len(globalIdx[p])
+		globalIdx[p] = append(globalIdx[p], v)
+	}
+
+	// Build the local systems.
+	subs := make([]*Subdomain, a.Parts)
+	for p := 0; p < a.Parts; p++ {
+		dim := len(globalIdx[p])
+		coo := sparse.NewCOO(dim, dim)
+		b := sparse.NewVec(dim)
+		for li, gv := range globalIdx[p] {
+			if li < numPorts[p] {
+				coo.Add(li, li, splitWeight[gv][p])
+				b[li] = splitSource[gv][p]
+			} else {
+				coo.Add(li, li, g.VertexWeight(gv))
+				b[li] = g.Source(gv)
+			}
+		}
+		for _, e := range partEdges[p] {
+			lu, ok1 := localIndex[p][e.u]
+			lv, ok2 := localIndex[p][e.v]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("partition: internal error: edge {%d,%d} assigned to part %d but an endpoint has no copy there", e.u, e.v, p)
+			}
+			coo.AddSym(lu, lv, e.weight)
+		}
+		subs[p] = &Subdomain{
+			Part:      p,
+			NumPorts:  numPorts[p],
+			GlobalIdx: globalIdx[p],
+			A:         coo.ToCSR(),
+			B:         b,
+		}
+	}
+
+	// Step 4: twin links — chain the copies of each split vertex in ascending
+	// part order (level-one tearing gives one link per split vertex; vertices
+	// shared by k parts get a chain of k−1 links, the multilevel tearing).
+	var links []TwinLink
+	for _, sv := range splits {
+		for k := 0; k+1 < len(sv.Parts); k++ {
+			pa, pb := sv.Parts[k], sv.Parts[k+1]
+			links = append(links, TwinLink{
+				ID:     len(links),
+				Global: sv.Global,
+				PartA:  pa,
+				PartB:  pb,
+				PortA:  portIndex[pa][sv.Global],
+				PortB:  portIndex[pb][sv.Global],
+			})
+		}
+	}
+
+	boundary := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if isSplit[v] {
+			boundary = append(boundary, v)
+		}
+	}
+
+	return &Result{
+		Assign:     a,
+		Boundary:   boundary,
+		Subdomains: subs,
+		Links:      links,
+		Splits:     splits,
+		portIndex:  portIndex,
+		n:          n,
+	}, nil
+}
+
+// defaultVertexSplit distributes a boundary vertex's weight proportionally to
+// the absolute edge weight incident to each copy, and its source in the same
+// proportions. For a (weakly) diagonally dominant row this keeps every copy
+// weakly diagonally dominant, so all subgraphs of a diagonally dominant SPD
+// system are SNND — the hypothesis of Theorem 6.1.
+func defaultVertexSplit(parts []int, weight, source float64, incident map[int]float64) (weights, sources []float64) {
+	k := len(parts)
+	weights = make([]float64, k)
+	sources = make([]float64, k)
+	var total float64
+	for _, p := range parts {
+		total += incident[p]
+	}
+	if total <= 0 {
+		for i := range parts {
+			weights[i] = weight / float64(k)
+			sources[i] = source / float64(k)
+		}
+		return weights, sources
+	}
+	for i, p := range parts {
+		share := incident[p] / total
+		weights[i] = weight * share
+		sources[i] = source * share
+	}
+	return weights, sources
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Dim returns the dimension of the original system.
+func (r *Result) Dim() int { return r.n }
+
+// NumParts returns the number of subdomains.
+func (r *Result) NumParts() int { return len(r.Subdomains) }
+
+// PortLocalIndex returns the local port index of the copy of global vertex gv
+// in the given part, and whether such a copy exists.
+func (r *Result) PortLocalIndex(part, gv int) (int, bool) {
+	idx, ok := r.portIndex[part][gv]
+	return idx, ok
+}
+
+// AdjacentParts returns, for each part, the sorted list of parts it shares at
+// least one twin link with (its N2N communication neighbours).
+func (r *Result) AdjacentParts() [][]int {
+	sets := make([]map[int]bool, r.NumParts())
+	for i := range sets {
+		sets[i] = make(map[int]bool)
+	}
+	for _, l := range r.Links {
+		sets[l.PartA][l.PartB] = true
+		sets[l.PartB][l.PartA] = true
+	}
+	out := make([][]int, r.NumParts())
+	for i, s := range sets {
+		for p := range s {
+			out[i] = append(out[i], p)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// LinksOfPart returns the links that have the given part as one endpoint.
+func (r *Result) LinksOfPart(part int) []TwinLink {
+	var out []TwinLink
+	for _, l := range r.Links {
+		if l.PartA == part || l.PartB == part {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Reconstruct sums the expanded per-part subsystems back into a global system.
+// By construction it must equal the original (A, b): the inflow currents of
+// twin copies cancel at the exact solution, so the split is consistent. Tests
+// use this as the fundamental EVS invariant.
+func (r *Result) Reconstruct() (*sparse.CSR, sparse.Vec) {
+	coo := sparse.NewCOO(r.n, r.n)
+	b := sparse.NewVec(r.n)
+	for _, sub := range r.Subdomains {
+		sub.A.Each(func(i, j int, v float64) {
+			coo.Add(sub.GlobalIdx[i], sub.GlobalIdx[j], v)
+		})
+		for i, v := range sub.B {
+			b[sub.GlobalIdx[i]] += v
+		}
+	}
+	return coo.ToCSR(), b
+}
+
+// AssembleOwner builds a global solution vector from per-part local solutions:
+// every inner vertex takes its unique local value and every split vertex takes
+// the value of its copy in the part it was originally assigned to.
+func (r *Result) AssembleOwner(locals []sparse.Vec) sparse.Vec {
+	x := sparse.NewVec(r.n)
+	r.assembleInto(x, locals, false)
+	return x
+}
+
+// AssembleAverage builds a global solution vector like AssembleOwner but
+// averages all copies of each split vertex, which is a slightly better
+// estimate while the twin potentials have not yet agreed.
+func (r *Result) AssembleAverage(locals []sparse.Vec) sparse.Vec {
+	x := sparse.NewVec(r.n)
+	r.assembleInto(x, locals, true)
+	return x
+}
+
+func (r *Result) assembleInto(x sparse.Vec, locals []sparse.Vec, average bool) {
+	if len(locals) != r.NumParts() {
+		panic(fmt.Sprintf("partition: assemble with %d local solutions, want %d", len(locals), r.NumParts()))
+	}
+	counts := make([]int, r.n)
+	for p, sub := range r.Subdomains {
+		lx := locals[p]
+		if len(lx) != sub.Dim() {
+			panic(fmt.Sprintf("partition: local solution %d has length %d, want %d", p, len(lx), sub.Dim()))
+		}
+		for li, gv := range sub.GlobalIdx {
+			if li >= sub.NumPorts {
+				x[gv] = lx[li]
+				counts[gv] = 1
+				continue
+			}
+			if average {
+				x[gv] += lx[li]
+				counts[gv]++
+			} else if r.Assign.Assign[gv] == p {
+				x[gv] = lx[li]
+				counts[gv] = 1
+			}
+		}
+	}
+	if average {
+		for i, c := range counts {
+			if c > 1 {
+				x[i] /= float64(c)
+			}
+		}
+	}
+}
+
+// MaxTwinDisagreement returns, given per-part local solutions, the largest
+// absolute difference between the potentials of twin copies of any split
+// vertex — a distributed-friendly convergence indicator (at the solution all
+// twins agree exactly).
+func (r *Result) MaxTwinDisagreement(locals []sparse.Vec) float64 {
+	var m float64
+	for _, l := range r.Links {
+		va := locals[l.PartA][l.PortA]
+		vb := locals[l.PartB][l.PortB]
+		if d := math.Abs(va - vb); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,221 @@
+// Package partition implements graph partitioning and Electric Vertex
+// Splitting (EVS, Section 4 of the paper, also called "wire tearing").
+//
+// A Partitioner assigns every vertex of the electric graph to one of N parts.
+// EVS then splits every boundary vertex (a vertex with a neighbour in another
+// part) into one copy per adjacent part, splits its weight, source and
+// boundary edges so that the per-part subsystems sum back to the original
+// system, and records the twin links between copies — the places where the DTM
+// engine will insert directed transmission line pairs (DTLPs).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Assignment maps each vertex of a graph to a part in [0, NumParts).
+type Assignment struct {
+	Parts  int
+	Assign []int
+}
+
+// Validate checks that the assignment is well formed for a graph with n
+// vertices: every vertex has a part in range and every part is non-empty.
+func (a Assignment) Validate(n int) error {
+	if len(a.Assign) != n {
+		return fmt.Errorf("partition: assignment covers %d vertices, graph has %d", len(a.Assign), n)
+	}
+	if a.Parts <= 0 {
+		return fmt.Errorf("partition: number of parts must be positive, got %d", a.Parts)
+	}
+	counts := make([]int, a.Parts)
+	for v, p := range a.Assign {
+		if p < 0 || p >= a.Parts {
+			return fmt.Errorf("partition: vertex %d assigned to part %d, out of range [0,%d)", v, p, a.Parts)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			return fmt.Errorf("partition: part %d is empty", p)
+		}
+	}
+	return nil
+}
+
+// PartSizes returns the number of vertices assigned to each part.
+func (a Assignment) PartSizes() []int {
+	counts := make([]int, a.Parts)
+	for _, p := range a.Assign {
+		if p >= 0 && p < a.Parts {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
+// Imbalance returns max part size divided by the ideal size n/Parts.
+func (a Assignment) Imbalance() float64 {
+	sizes := a.PartSizes()
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	ideal := float64(len(a.Assign)) / float64(a.Parts)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(max) / ideal
+}
+
+// Strips assigns vertices to parts by contiguous index ranges of (nearly)
+// equal size. For 1-D chain graphs this is the natural partition; for general
+// graphs it is a crude but deterministic baseline.
+func Strips(n, parts int) Assignment {
+	if parts <= 0 || n < parts {
+		panic(fmt.Sprintf("partition: Strips needs 1 <= parts <= n, got n=%d parts=%d", n, parts))
+	}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Balanced split: part p receives indices [p*n/parts, (p+1)*n/parts).
+		assign[i] = i * parts / n
+		if assign[i] >= parts {
+			assign[i] = parts - 1
+		}
+	}
+	return Assignment{Parts: parts, Assign: assign}
+}
+
+// GridBlocks assigns the vertices of an nx×ny grid (vertex index ix + iy*nx)
+// to a px×py block grid of parts. Part (bx, by) has index bx + by*px. This is
+// the "regular partitioning" the paper uses on its grid-structured systems,
+// and composed with EVS it yields exactly the level-one / level-two mixed wire
+// tearing of Section 4 (edge vertices split in two, block-corner vertices split
+// further).
+func GridBlocks(nx, ny, px, py int) Assignment {
+	if nx <= 0 || ny <= 0 || px <= 0 || py <= 0 || px > nx || py > ny {
+		panic(fmt.Sprintf("partition: GridBlocks invalid configuration grid=%dx%d parts=%dx%d", nx, ny, px, py))
+	}
+	assign := make([]int, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		by := iy * py / ny
+		if by >= py {
+			by = py - 1
+		}
+		for ix := 0; ix < nx; ix++ {
+			bx := ix * px / nx
+			if bx >= px {
+				bx = px - 1
+			}
+			assign[ix+iy*nx] = bx + by*px
+		}
+	}
+	return Assignment{Parts: px * py, Assign: assign}
+}
+
+// LevelSetGrow partitions a general graph into `parts` balanced pieces by
+// walking the vertices in breadth-first order from a pseudo-peripheral vertex
+// and cutting the ordering into equal chunks. Contiguity of each part is good
+// for connected graphs with small diameter growth (grids, meshes, circuits).
+func LevelSetGrow(g *graph.Electric, parts int) Assignment {
+	n := g.Order()
+	if parts <= 0 || n < parts {
+		panic(fmt.Sprintf("partition: LevelSetGrow needs 1 <= parts <= n, got n=%d parts=%d", n, parts))
+	}
+	order := bfsOrder(g, pseudoPeripheral(g))
+	assign := make([]int, n)
+	for rank, v := range order {
+		p := rank * parts / n
+		if p >= parts {
+			p = parts - 1
+		}
+		assign[v] = p
+	}
+	return Assignment{Parts: parts, Assign: assign}
+}
+
+// pseudoPeripheral returns a vertex of (approximately) maximal eccentricity by
+// the standard double-BFS heuristic, considering unreachable vertices last.
+func pseudoPeripheral(g *graph.Electric) int {
+	if g.Order() == 0 {
+		return 0
+	}
+	start := 0
+	for iter := 0; iter < 2; iter++ {
+		dist := g.BFSLevels(start)
+		far, fd := start, -1
+		for v, d := range dist {
+			if d > fd {
+				far, fd = v, d
+			}
+		}
+		start = far
+	}
+	return start
+}
+
+// bfsOrder returns all vertices in BFS order from start; vertices unreachable
+// from start are appended afterwards (each starting its own BFS) so the order
+// always covers the whole graph.
+func bfsOrder(g *graph.Electric, start int) []int {
+	n := g.Order()
+	seen := make([]bool, n)
+	order := make([]int, 0, n)
+	bfs := func(s int) {
+		if seen[s] {
+			return
+		}
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	bfs(start)
+	for v := 0; v < n; v++ {
+		bfs(v)
+	}
+	return order
+}
+
+// BoundaryVertices returns, for the given assignment, the sorted list of
+// vertices that have at least one neighbour assigned to a different part.
+// These are exactly the vertices EVS will split.
+func BoundaryVertices(g *graph.Electric, a Assignment) []int {
+	var out []int
+	for v := 0; v < g.Order(); v++ {
+		pv := a.Assign[v]
+		for _, w := range g.Neighbors(v) {
+			if a.Assign[w] != pv {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCut returns the number of edges whose endpoints lie in different parts.
+func EdgeCut(g *graph.Electric, a Assignment) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		if a.Assign[e.U] != a.Assign[e.V] {
+			cut++
+		}
+	}
+	return cut
+}

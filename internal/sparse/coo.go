@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is a single (row, col, value) entry of a matrix in coordinate form.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a matrix under construction in coordinate (triplet) form. Duplicate
+// entries are allowed and are summed when the matrix is compiled to CSR.
+// COO is the builder type; CSR is the operational type.
+type COO struct {
+	rows, cols int
+	entries    []Triplet
+}
+
+// NewCOO returns an empty rows×cols coordinate-form matrix.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: NewCOO negative dimension %dx%d", rows, cols))
+	}
+	return &COO{rows: rows, cols: cols}
+}
+
+// Rows returns the number of rows.
+func (c *COO) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *COO) Cols() int { return c.cols }
+
+// NNZ returns the number of stored triplets (duplicates counted separately).
+func (c *COO) NNZ() int { return len(c.entries) }
+
+// Add appends value v at (i, j). Zero values are ignored so generators can add
+// unconditionally. Adding the same position twice accumulates.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	if v == 0 {
+		return
+	}
+	c.entries = append(c.entries, Triplet{Row: i, Col: j, Val: v})
+}
+
+// AddSym adds value v at (i, j) and, when i != j, also at (j, i). It is the
+// natural way to build the symmetric matrices DTM operates on.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// Triplets returns a copy of the stored triplets.
+func (c *COO) Triplets() []Triplet {
+	out := make([]Triplet, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// ToCSR compiles the COO matrix into compressed-sparse-row form, summing
+// duplicates and dropping entries that cancel to exactly zero.
+func (c *COO) ToCSR() *CSR {
+	ts := make([]Triplet, len(c.entries))
+	copy(ts, c.entries)
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].Row != ts[b].Row {
+			return ts[a].Row < ts[b].Row
+		}
+		return ts[a].Col < ts[b].Col
+	})
+
+	rowPtr := make([]int, c.rows+1)
+	colIdx := make([]int, 0, len(ts))
+	vals := make([]float64, 0, len(ts))
+
+	i := 0
+	for i < len(ts) {
+		r, col := ts[i].Row, ts[i].Col
+		sum := 0.0
+		for i < len(ts) && ts[i].Row == r && ts[i].Col == col {
+			sum += ts[i].Val
+			i++
+		}
+		if sum != 0 {
+			colIdx = append(colIdx, col)
+			vals = append(vals, sum)
+			rowPtr[r+1]++
+		}
+	}
+	for r := 0; r < c.rows; r++ {
+		rowPtr[r+1] += rowPtr[r]
+	}
+	return &CSR{
+		rows:   c.rows,
+		cols:   c.cols,
+		rowPtr: rowPtr,
+		colIdx: colIdx,
+		vals:   vals,
+	}
+}

@@ -1,0 +1,144 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a small subset of MatrixMarket coordinate format:
+//
+//	%%MatrixMarket matrix coordinate real general
+//	% comment lines start with %
+//	rows cols nnz
+//	i j value          (1-based indices, one entry per line)
+//
+// Vectors use the array format:
+//
+//	%%MatrixMarket matrix array real general
+//	n 1
+//	value              (one per line)
+
+// WriteMatrix writes m in coordinate text format.
+func WriteMatrix(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", m.Rows(), m.Cols(), m.NNZ()); err != nil {
+		return err
+	}
+	var werr error
+	m.Each(func(i, j int, v float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix reads a matrix in the coordinate text format written by WriteMatrix.
+func ReadMatrix(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	fields, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading matrix header: %w", err)
+	}
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("sparse: matrix header must have 3 fields, got %d", len(fields))
+	}
+	rows, err1 := strconv.Atoi(fields[0])
+	cols, err2 := strconv.Atoi(fields[1])
+	nnz, err3 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("sparse: malformed matrix header %q", strings.Join(fields, " "))
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative matrix header values")
+	}
+	coo := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		fields, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading entry %d/%d: %w", k+1, nnz, err)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("sparse: entry %d must have 3 fields, got %d", k+1, len(fields))
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		v, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: malformed entry %q", strings.Join(fields, " "))
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		coo.Add(i-1, j-1, v)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteVec writes v in array text format.
+func WriteVec(w io.Writer, v Vec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix array real general\n%d 1\n", len(v)); err != nil {
+		return err
+	}
+	for _, x := range v {
+		if _, err := fmt.Fprintf(bw, "%.17g\n", x); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVec reads a vector in the array text format written by WriteVec.
+func ReadVec(r io.Reader) (Vec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	fields, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading vector header: %w", err)
+	}
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("sparse: vector header must have 2 fields, got %d", len(fields))
+	}
+	n, err1 := strconv.Atoi(fields[0])
+	cols, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil || cols != 1 || n < 0 {
+		return nil, fmt.Errorf("sparse: malformed vector header %q", strings.Join(fields, " "))
+	}
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		fields, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading vector entry %d/%d: %w", i+1, n, err)
+		}
+		x, perr := strconv.ParseFloat(fields[0], 64)
+		if perr != nil {
+			return nil, fmt.Errorf("sparse: malformed vector entry %q", fields[0])
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// nextDataLine returns the fields of the next non-comment, non-empty line.
+func nextDataLine(sc *bufio.Scanner) ([]string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Fields(line), nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}

@@ -1,0 +1,237 @@
+// Package sparse provides the sparse-matrix and dense-vector substrate used by
+// the Directed Transmission Method (DTM) reproduction: COO/CSR storage, matrix
+// generators for the paper's workloads, simple text I/O, and the vector algebra
+// every solver in the repository builds on.
+//
+// Everything is implemented with the standard library only.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense vector of float64.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// CopyFrom copies src into v. The lengths must match.
+func (v Vec) CopyFrom(src Vec) {
+	if len(v) != len(src) {
+		panic(fmt.Sprintf("sparse: CopyFrom length mismatch %d vs %d", len(v), len(src)))
+	}
+	copy(v, src)
+}
+
+// Zero sets every entry of v to zero.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every entry of v to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 {
+	// Scaled accumulation to avoid overflow/underflow on extreme inputs.
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum-magnitude entry of v.
+func (v Vec) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RMS returns the root-mean-square of v, the error metric the paper plots.
+func (v Vec) RMS() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Scale multiplies v in place by a.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AddScaled sets v += a*w in place.
+func (v Vec) AddScaled(a float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Add returns v + w as a new vector.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: Sub length mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_i |v[i]-w[i]|.
+func (v Vec) MaxAbsDiff(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: MaxAbsDiff length mismatch %d vs %d", len(v), len(w)))
+	}
+	var m float64
+	for i := range v {
+		if d := math.Abs(v[i] - w[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RMSError returns the root-mean-square of v - w, i.e. the "RMS error" in the
+// paper's figures when w is the exact solution.
+func (v Vec) RMSError(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("sparse: RMSError length mismatch %d vs %d", len(v), len(w)))
+	}
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Equal reports whether v and w agree entry-wise within tol.
+func (v Vec) Equal(w Vec, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Gather returns the sub-vector v[idx[0]], v[idx[1]], ...
+func (v Vec) Gather(idx []int) Vec {
+	out := make(Vec, len(idx))
+	for k, i := range idx {
+		out[k] = v[i]
+	}
+	return out
+}
+
+// Scatter writes src[k] into v[idx[k]] for every k.
+func (v Vec) Scatter(idx []int, src Vec) {
+	if len(idx) != len(src) {
+		panic(fmt.Sprintf("sparse: Scatter length mismatch %d vs %d", len(idx), len(src)))
+	}
+	for k, i := range idx {
+		v[i] = src[k]
+	}
+}
+
+// ScatterAdd adds src[k] to v[idx[k]] for every k.
+func (v Vec) ScatterAdd(idx []int, src Vec) {
+	if len(idx) != len(src) {
+		panic(fmt.Sprintf("sparse: ScatterAdd length mismatch %d vs %d", len(idx), len(src)))
+	}
+	for k, i := range idx {
+		v[i] += src[k]
+	}
+}
+
+// HasNaN reports whether any entry of v is NaN or infinite.
+func (v Vec) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package topology
+
+import "testing"
+
+func TestTorusAdjacencyAndWrapAround(t *testing.T) {
+	topo := Torus(4, 3, "torus4x3", func(from, to int) float64 { return 2 })
+	if topo.N() != 12 {
+		t.Fatalf("N = %d, want 12", topo.N())
+	}
+	// Every processor of a 2-D torus has exactly 4 neighbours: 4*12/... each
+	// undirected edge counted twice → 4 links out of each node → 48 directed.
+	if got := len(topo.Links()); got != 48 {
+		t.Errorf("directed links = %d, want 48", got)
+	}
+	// Wrap-around: processor 0 = (0,0) is directly linked to (3,0) = 3 and to
+	// (0,2) = 8.
+	if !topo.HasDirectLink(0, 3) || !topo.HasDirectLink(0, 8) {
+		t.Errorf("wrap-around links missing")
+	}
+	// And of course to its ordinary mesh neighbours.
+	if !topo.HasDirectLink(0, 1) || !topo.HasDirectLink(0, 4) {
+		t.Errorf("mesh links missing")
+	}
+	// No diagonal links.
+	if topo.HasDirectLink(0, 5) {
+		t.Errorf("diagonal link must not exist")
+	}
+	// The torus diameter is smaller than the mesh's: (0,0) to (2,1) is 3 hops
+	// on the open mesh but the wrap keeps every pair within (2+1) hops here.
+	if d := topo.Delay(0, 6); d > 3*2 {
+		t.Errorf("Delay(0,6) = %g, want at most 6", d)
+	}
+}
+
+func TestTorusPanicsOnDegenerateSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("a 1-wide torus must be rejected")
+		}
+	}()
+	Torus(1, 4, "bad", func(from, to int) float64 { return 1 })
+}
+
+func TestTorusUniformRandomBoundsAndDeterminism(t *testing.T) {
+	a := TorusUniformRandom(3, 3, 10, 50, 9, "a")
+	b := TorusUniformRandom(3, 3, 10, 50, 9, "b")
+	for _, l := range a.Links() {
+		if l.Delay < 10 || l.Delay > 50 {
+			t.Errorf("delay %g outside [10,50]", l.Delay)
+		}
+		if b.LinkDelay(l.From, l.To) != l.Delay {
+			t.Errorf("same seed must reproduce the same torus")
+		}
+	}
+	st := a.Stats()
+	// A 3×3 torus has 2·9 undirected = 36 directed links.
+	if st.Count != 36 {
+		t.Errorf("link count = %d, want 36", st.Count)
+	}
+}
