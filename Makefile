@@ -1,0 +1,31 @@
+# Developer entry points for the DTM reproduction. `make bench` writes the
+# machine-readable BENCH_dtm.json used to track the perf trajectory PR over PR.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-smoke clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep of the three hot-path figures plus a machine-readable
+# summary (wall time / allocations per experiment) in BENCH_dtm.json.
+bench:
+	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$' \
+		-benchmem -benchtime=2x -run '^$$' .
+	$(GO) run ./cmd/dtmbench -benchjson BENCH_dtm.json -quick
+
+# One-iteration smoke run for CI: every benchmark must at least complete.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+clean:
+	rm -f repro.test *.test *.out *.pprof BENCH_*.json

@@ -8,12 +8,16 @@
 //	dtmbench -exp fig8
 //	dtmbench -exp fig12 -quick
 //	dtmbench -all -quick
+//	dtmbench -benchjson BENCH_dtm.json -quick
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,15 +25,22 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (see -list)")
-		all   = flag.Bool("all", false, "run every registered experiment")
-		quick = flag.Bool("quick", false, "use reduced problem sizes")
-		list  = flag.Bool("list", false, "list the available experiments")
+		exp       = flag.String("exp", "", "experiment to run (see -list)")
+		all       = flag.Bool("all", false, "run every registered experiment")
+		quick     = flag.Bool("quick", false, "use reduced problem sizes")
+		list      = flag.Bool("list", false, "list the available experiments")
+		benchjson = flag.String("benchjson", "", "measure the hot-path experiments and write machine-readable results to this JSON file")
 	)
 	flag.Parse()
 
 	registry := experiments.Registry()
 	switch {
+	case *benchjson != "":
+		if err := writeBenchJSON(registry, *benchjson, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case *list:
 		fmt.Println("available experiments:")
 		for _, name := range experiments.Names() {
@@ -67,5 +78,71 @@ func runOne(registry map[string]experiments.Runner, name string, quick bool) err
 		return err
 	}
 	fmt.Printf("---- %s done in %v ----\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// benchRecord is one machine-readable measurement: the wall-clock time and
+// heap allocation profile of a full experiment reproduction, mirroring the
+// ns/op and allocs/op of the corresponding go-test benchmark so the perf
+// trajectory can be tracked from CI artifacts PR over PR.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Quick      bool    `json:"quick"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Generated string        `json:"generated_by"`
+	GoVersion string        `json:"go_version"`
+	Results   []benchRecord `json:"results"`
+}
+
+// benchExperiments are the hot-path figures whose cost is tracked over time.
+var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi"}
+
+func writeBenchJSON(registry map[string]experiments.Runner, path string, quick bool) error {
+	out := benchFile{Generated: "dtmbench -benchjson", GoVersion: runtime.Version()}
+	for _, name := range benchExperiments {
+		runner, ok := registry[name]
+		if !ok {
+			return fmt.Errorf("experiment %q is not registered", name)
+		}
+		const iters = 2
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := runner(io.Discard, quick); err != nil {
+				return fmt.Errorf("experiment %q: %w", name, err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		out.Results = append(out.Results, benchRecord{
+			Experiment: name,
+			Quick:      quick,
+			Iterations: iters,
+			NsPerOp:    float64(elapsed.Nanoseconds()) / iters,
+			BytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / iters,
+			AllocsOp:   float64(after.Mallocs-before.Mallocs) / iters,
+		})
+		fmt.Printf("%-22s %12.0f ns/op %12.0f B/op %10.0f allocs/op\n",
+			name, out.Results[len(out.Results)-1].NsPerOp,
+			out.Results[len(out.Results)-1].BytesPerOp,
+			out.Results[len(out.Results)-1].AllocsOp)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -8,7 +8,9 @@ import (
 )
 
 // wavePacket is the payload of one N2N message: the outgoing waves of every
-// DTL whose far end lives in the destination subdomain.
+// DTL whose far end lives in the destination subdomain. It travels through the
+// generic simulator as a value — no interface boxing — and its entries slice
+// is recycled through the engine's pool once the receiver has consumed it.
 type wavePacket struct {
 	entries []waveEntry
 }
@@ -39,6 +41,26 @@ type engine struct {
 	errSq          float64
 	sinceRecompute int
 	solves         int
+
+	// Incrementally maintained twin-gap state. gapTree is a 1-indexed max
+	// segment tree whose leaves (starting at gapLeaf) hold the exact current
+	// disagreement |u_A − u_B| of each link. After a part solves, only its
+	// incident links are refreshed — O(incident · log L) instead of the O(L)
+	// full scan per stop-condition check — and, unlike errSq, no periodic
+	// recomputation is needed because every leaf is always recomputed exactly
+	// from the two port potentials (nothing accumulates). gapRefs[p] holds,
+	// per incident link of part p, the tree leaf index and direct pointers to
+	// the two port potentials (stable: a Subdomain's x is solved in place and
+	// never reallocated), so a gap refresh is two loads, one abs, and a tree
+	// walk.
+	gapRefs [][]gapRef
+	gapTree []float64
+	gapLeaf int
+
+	// entryPool recycles waveEntry slices between sender and receiver; the DES
+	// engine is single-threaded, so a plain free list suffices and the steady
+	// state allocates no packet buffers at all.
+	entryPool netsim.Pool[waveEntry]
 
 	lastChange []float64 // last boundary-potential change per part
 	solvedOnce []bool
@@ -72,6 +94,7 @@ func newEngine(p *Problem, opts *Options, subs []*Subdomain) *engine {
 			e.errSq += d * d
 		}
 	}
+	e.initTwinGaps()
 	return e
 }
 
@@ -79,8 +102,86 @@ func newEngine(p *Problem, opts *Options, subs []*Subdomain) *engine {
 // exact recomputations of errSq (see the field comment).
 const errRecomputeEvery = 256
 
+// gapRef locates one twin link for the incremental gap tracker: its leaf slot
+// in the segment tree and the addresses of the two twin port potentials.
+type gapRef struct {
+	leaf int32
+	a, b *float64
+}
+
+// initTwinGaps builds the per-part incidence lists and the max segment tree
+// over the current link disagreements.
+func (e *engine) initTwinGaps() {
+	links := e.prob.Partition.Links
+	linksOfPart := make([][]int32, len(e.subs))
+	for i, l := range links {
+		linksOfPart[l.PartA] = append(linksOfPart[l.PartA], int32(i))
+		if l.PartB != l.PartA {
+			linksOfPart[l.PartB] = append(linksOfPart[l.PartB], int32(i))
+		}
+	}
+	if len(links) == 0 {
+		return
+	}
+	leaf := 1
+	for leaf < len(links) {
+		leaf <<= 1
+	}
+	e.gapLeaf = leaf
+	e.gapTree = make([]float64, 2*leaf)
+	for i, l := range links {
+		e.gapTree[leaf+i] = math.Abs(e.subs[l.PartA].PortPotential(l.PortA) - e.subs[l.PartB].PortPotential(l.PortB))
+	}
+	for i := leaf - 1; i >= 1; i-- {
+		e.gapTree[i] = math.Max(e.gapTree[2*i], e.gapTree[2*i+1])
+	}
+	e.gapRefs = make([][]gapRef, len(e.subs))
+	for part, incident := range linksOfPart {
+		refs := make([]gapRef, len(incident))
+		for j, li := range incident {
+			l := &links[li]
+			refs[j] = gapRef{
+				leaf: int32(leaf + int(li)),
+				a:    &e.subs[l.PartA].x[l.PortA],
+				b:    &e.subs[l.PartB].x[l.PortB],
+			}
+		}
+		e.gapRefs[part] = refs
+	}
+}
+
+// updateTwinGaps refreshes the disagreement of every link incident to part
+// (the only links whose gap can have changed in that part's solve) and
+// propagates the new maxima up the tree, stopping as soon as a parent is
+// unchanged.
+func (e *engine) updateTwinGaps(part int) {
+	if e.gapTree == nil {
+		return
+	}
+	tree := e.gapTree
+	for _, r := range e.gapRefs[part] {
+		g := math.Abs(*r.a - *r.b)
+		i := int(r.leaf)
+		if tree[i] == g {
+			continue
+		}
+		tree[i] = g
+		for i >>= 1; i >= 1; i >>= 1 {
+			m := tree[2*i]
+			if right := tree[2*i+1]; right > m {
+				m = right
+			}
+			if tree[i] == m {
+				break
+			}
+			tree[i] = m
+		}
+	}
+}
+
 // applyLocal folds the latest local solution of one part into the assembled
-// solution and the running error, touching only the entries that part owns.
+// solution, the running error, and the incident twin gaps, touching only the
+// entries that part owns.
 func (e *engine) applyLocal(part int) {
 	lx := e.subs[part].X()
 	for _, pair := range e.ownerOf[part] {
@@ -96,6 +197,7 @@ func (e *engine) applyLocal(part int) {
 	if e.errSq < 0 {
 		e.errSq = 0
 	}
+	e.updateTwinGaps(part)
 	if e.exact == nil {
 		return
 	}
@@ -127,17 +229,13 @@ func (e *engine) rmsError() float64 {
 	return math.Sqrt(e.errSq / float64(n))
 }
 
-// twinGap returns the largest twin-potential disagreement over all links.
+// twinGap returns the largest twin-potential disagreement over all links, in
+// O(1) from the incrementally maintained segment tree.
 func (e *engine) twinGap() float64 {
-	var m float64
-	for _, l := range e.prob.Partition.Links {
-		va := e.subs[l.PartA].PortPotential(l.PortA)
-		vb := e.subs[l.PartB].PortPotential(l.PortB)
-		if d := math.Abs(va - vb); d > m {
-			m = d
-		}
+	if e.gapTree == nil {
+		return 0
 	}
-	return m
+	return e.gapTree[1]
 }
 
 // quiesced implements the distributed stopping rule of Options.Tol.
@@ -185,9 +283,15 @@ type dtmNode struct {
 	sub *Subdomain
 	dim int
 	adj []int
+	// endsTo[i] are the end indices towards adj[i] (the subdomain's cached
+	// EndsTowards table — never mutated here).
+	endsTo [][]int
 	// lastSent[k] is the wave last sent on end k (NaN before the first send).
 	lastSent []float64
 	compute  func(part, dim int) float64
+	// outs is the reused outgoing-message buffer; netsim copies it into the
+	// event queue before the node runs again.
+	outs []netsim.Outgoing[wavePacket]
 	// warmStart makes Init announce the subdomain's current outgoing waves
 	// instead of the paper's zero initial condition (5.6); the mixed sync/async
 	// engine uses it to resume an asynchronous window from accumulated state.
@@ -195,13 +299,19 @@ type dtmNode struct {
 }
 
 func newDTMNode(eng *engine, sub *Subdomain, compute func(part, dim int) float64) *dtmNode {
+	adj := sub.AdjacentParts()
 	n := &dtmNode{
 		eng:      eng,
 		sub:      sub,
 		dim:      sub.Dim(),
-		adj:      sub.AdjacentParts(),
+		adj:      adj,
+		endsTo:   make([][]int, len(adj)),
 		lastSent: make([]float64, len(sub.Ends())),
 		compute:  compute,
+		outs:     make([]netsim.Outgoing[wavePacket], 0, len(adj)),
+	}
+	for i, remote := range adj {
+		n.endsTo[i] = sub.EndsTowards(remote)
 	}
 	for k := range n.lastSent {
 		n.lastSent[k] = math.NaN()
@@ -213,7 +323,7 @@ func newDTMNode(eng *engine, sub *Subdomain, compute func(part, dim int) float64
 // the zero state (5.6), so the initial wave u−Z·ω on every line is zero; these
 // initial waves are what bootstraps the asynchronous exchange. A warm-started
 // node instead announces the outgoing waves of its current state.
-func (n *dtmNode) Init(now float64) []netsim.Outgoing {
+func (n *dtmNode) Init(now float64) []netsim.Outgoing[wavePacket] {
 	return n.packetsToAll(!n.warmStart)
 }
 
@@ -221,15 +331,13 @@ func (n *dtmNode) Init(now float64) []netsim.Outgoing {
 // conditions into the local right-hand side, re-solve the (pre-factorised)
 // local system, and send the new local boundary conditions to the adjacent
 // subdomains.
-func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message) []netsim.Outgoing {
-	for _, m := range msgs {
-		pkt, ok := m.Payload.(wavePacket)
-		if !ok {
-			continue
-		}
-		for _, en := range pkt.entries {
+func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message[wavePacket]) []netsim.Outgoing[wavePacket] {
+	for i := range msgs {
+		entries := msgs[i].Payload.entries
+		for _, en := range entries {
 			n.sub.SetIncomingByLink(en.linkID, en.wave)
 		}
+		n.eng.entryPool.Put(entries)
 	}
 	change := n.sub.Solve()
 	part := n.sub.Part()
@@ -250,36 +358,38 @@ func (n *dtmNode) ComputeTime(batch int) float64 {
 
 // packetsToAll builds one wave packet per adjacent subdomain. When initial is
 // true the waves are the zero initial condition; otherwise they are the waves
-// of the latest local solve, filtered by the send threshold.
-func (n *dtmNode) packetsToAll(initial bool) []netsim.Outgoing {
+// of the latest local solve, filtered by the send threshold. Entry buffers
+// come from the engine's pool and the outgoing slice is reused, so the steady
+// state allocates nothing.
+func (n *dtmNode) packetsToAll(initial bool) []netsim.Outgoing[wavePacket] {
 	threshold := n.eng.opts.SendThreshold
-	var outs []netsim.Outgoing
-	for _, remote := range n.adj {
-		ends := n.sub.EndsTowards(remote)
-		entries := make([]waveEntry, 0, len(ends))
+	ends := n.sub.Ends()
+	n.outs = n.outs[:0]
+	for ai, remote := range n.adj {
+		toward := n.endsTo[ai]
+		entries := n.eng.entryPool.Get(len(toward))
 		changed := initial
-		for _, k := range ends {
+		for _, k := range toward {
 			var w float64
-			if initial {
-				w = 0
-			} else {
+			if !initial {
 				w = n.sub.OutgoingWave(k)
 			}
 			if math.IsNaN(n.lastSent[k]) || math.Abs(w-n.lastSent[k]) > threshold {
 				changed = true
 			}
-			entries = append(entries, waveEntry{linkID: n.sub.Ends()[k].LinkID, wave: w})
+			entries = append(entries, waveEntry{linkID: ends[k].LinkID, wave: w})
 		}
 		if !changed {
+			n.eng.entryPool.Put(entries)
 			continue
 		}
-		for i, k := range ends {
+		for i, k := range toward {
 			n.lastSent[k] = entries[i].wave
 		}
 		n.eng.messages += 1
-		outs = append(outs, netsim.Outgoing{To: remote, Payload: wavePacket{entries: entries}})
+		n.outs = append(n.outs, netsim.Outgoing[wavePacket]{To: remote, Payload: wavePacket{entries: entries}})
 	}
-	return outs
+	return n.outs
 }
 
 // SolveDTM runs the Directed Transmission Method on the problem's machine
@@ -311,7 +421,7 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 
 	eng := newEngine(p, &opts, subs)
 	compute := opts.computeTimeFn(p)
-	nodes := make([]netsim.Node, len(subs))
+	nodes := make([]netsim.Node[wavePacket], len(subs))
 	for i, s := range subs {
 		nodes[i] = newDTMNode(eng, s, compute)
 	}

@@ -48,10 +48,6 @@ type liveShared struct {
 	ports []sparse.Vec // per part, the port potentials
 }
 
-type livePacket struct {
-	entries []waveEntry
-}
-
 // SolveLive runs DTM with one goroutine per subdomain and real (scaled)
 // communication delays. The result mirrors SolveDTM's, with FinalTime in
 // wall-clock seconds. The run is not deterministic — that is the point — but
@@ -102,9 +98,9 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxWallTime)
 	defer cancel()
 
-	inboxes := make([]chan livePacket, nParts)
+	inboxes := make([]chan wavePacket, nParts)
 	for i := range inboxes {
-		inboxes[i] = make(chan livePacket, 256)
+		inboxes[i] = make(chan wavePacket, 256)
 	}
 
 	// deliver schedules a packet to arrive at `to` after the scaled link delay.
@@ -112,7 +108,7 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 	// condition will follow, and dropping keeps the timer goroutines from
 	// blocking forever after cancellation.
 	var timers sync.WaitGroup
-	deliver := func(from, to int, pkt livePacket) {
+	deliver := func(from, to int, pkt wavePacket) {
 		delay := time.Duration(float64(opts.TimeScale) * p.Delay(from, to))
 		timers.Add(1)
 		time.AfterFunc(delay, func() {
@@ -147,7 +143,7 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 				}
 				entries = append(entries, waveEntry{linkID: s.Ends()[k].LinkID, wave: w})
 			}
-			deliver(part, remote, livePacket{entries: entries})
+			deliver(part, remote, wavePacket{entries: entries})
 		}
 	}
 
@@ -164,7 +160,7 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 				case pkt := <-inboxes[part]:
 					// Drain whatever else is already waiting so a burst of
 					// messages is consumed as one batch, like the DES engine.
-					batch := []livePacket{pkt}
+					batch := []wavePacket{pkt}
 				drain:
 					for {
 						select {

@@ -119,7 +119,7 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 	for now < opts.MaxTime && !eng.converged {
 		// Asynchronous phase: a DES window over the remaining budget.
 		window := math.Min(opts.AsyncWindow, opts.MaxTime-now)
-		nodes := make([]netsim.Node, len(subs))
+		nodes := make([]netsim.Node[wavePacket], len(subs))
 		for i, s := range subs {
 			node := newDTMNode(eng, s, compute)
 			node.warmStart = out.AsyncPhases > 0 || out.SyncSweepsDone > 0

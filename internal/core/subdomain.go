@@ -45,18 +45,27 @@ type Subdomain struct {
 	solver  localSolver
 	baseRHS sparse.Vec
 
-	ends      []LinkEnd
-	endByLink map[int]int
+	ends []LinkEnd
+	// endOfLink maps a global link id to its local end index (-1 when the link
+	// does not terminate here); a flat slice, not a map, because link ids are
+	// dense and the lookup sits on the per-message hot path.
+	endOfLink []int32
 	invZ      []float64 // 1/Z per end
+	// adjacent is the sorted set of remote parts and endsByAdj[i] the end
+	// indices towards adjacent[i] — both precomputed once so the per-send hot
+	// path never rebuilds them.
+	adjacent  []int
+	endsByAdj [][]int
 
 	// incoming[k] is the latest received wave on end k:
 	//   r_k = u_twin(t-τ) − Z·ω_twin(t-τ)
 	incoming []float64
 
-	x      sparse.Vec // latest local solution [u; y]
-	rhs    sparse.Vec // scratch right-hand side
-	solves int
-	spd    bool // whether the local matrix was Cholesky-factorisable
+	x         sparse.Vec // latest local solution [u; y]
+	rhs       sparse.Vec // scratch right-hand side
+	prevPorts []float64  // scratch: port potentials before the latest solve
+	solves    int
+	spd       bool // whether the local matrix was Cholesky-factorisable
 }
 
 // NewSubdomain builds the DTM subdomain for one EVS subgraph. links must be
@@ -72,9 +81,13 @@ func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []floa
 		numPorts:  sub.NumPorts,
 		globalIdx: append([]int(nil), sub.GlobalIdx...),
 		baseRHS:   sub.B.Clone(),
-		endByLink: make(map[int]int),
+		endOfLink: make([]int32, len(z)),
 		x:         sparse.NewVec(sub.Dim()),
 		rhs:       sparse.NewVec(sub.Dim()),
+		prevPorts: make([]float64, sub.NumPorts),
+	}
+	for i := range s.endOfLink {
+		s.endOfLink[i] = -1
 	}
 
 	// Collect the DTL endpoints that terminate in this part.
@@ -100,12 +113,13 @@ func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []floa
 			return nil, fmt.Errorf("core: link %d terminates on local index %d which is not a port of part %d", l.ID, port, sub.Part)
 		}
 		end := LinkEnd{LinkID: l.ID, Port: port, Remote: remote, Z: zl}
-		s.endByLink[l.ID] = len(s.ends)
+		s.endOfLink[l.ID] = int32(len(s.ends))
 		s.ends = append(s.ends, end)
 		s.invZ = append(s.invZ, 1/zl)
 		diagAdd[port] += 1 / zl
 	}
 	s.incoming = make([]float64, len(s.ends))
+	s.buildAdjacency()
 
 	// Build and factorise the constant local matrix of eq. (5.9).
 	local := sub.A.AddDiag(diagAdd)
@@ -153,8 +167,11 @@ func (s *Subdomain) X() sparse.Vec { return s.x }
 // the end attached to the given link. It reports whether the link terminates
 // in this subdomain.
 func (s *Subdomain) SetIncomingByLink(linkID int, wave float64) bool {
-	k, ok := s.endByLink[linkID]
-	if !ok {
+	if linkID < 0 || linkID >= len(s.endOfLink) {
+		return false
+	}
+	k := s.endOfLink[linkID]
+	if k < 0 {
 		return false
 	}
 	s.incoming[k] = wave
@@ -174,7 +191,7 @@ func (s *Subdomain) Solve() float64 {
 		// f_p + (1/Z)·(u_twin − Z·ω_twin)(t−τ), the right-hand side of (5.9).
 		s.rhs[e.Port] += s.invZ[k] * s.incoming[k]
 	}
-	prev := make([]float64, s.numPorts)
+	prev := s.prevPorts
 	copy(prev, s.x[:s.numPorts])
 	s.solver.SolveTo(s.x, s.rhs)
 	s.solves++
@@ -223,36 +240,50 @@ func (s *Subdomain) OutgoingWave(k int) float64 {
 	return 2*s.x[e.Port] - s.incoming[k]
 }
 
-// EndsTowards returns the indices of the ends whose remote part is the given
-// part, in increasing end order.
-func (s *Subdomain) EndsTowards(remote int) []int {
-	var out []int
-	for k, e := range s.ends {
-		if e.Remote == remote {
-			out = append(out, k)
-		}
-	}
-	return out
-}
-
-// AdjacentParts returns the sorted set of remote parts this subdomain shares a
-// DTLP with.
-func (s *Subdomain) AdjacentParts() []int {
+// buildAdjacency precomputes the sorted adjacent-part list and the ends
+// grouped by remote part, so the send hot path never rebuilds either.
+func (s *Subdomain) buildAdjacency() {
 	seen := map[int]bool{}
-	var out []int
 	for _, e := range s.ends {
 		if !seen[e.Remote] {
 			seen[e.Remote] = true
-			out = append(out, e.Remote)
+			s.adjacent = append(s.adjacent, e.Remote)
 		}
 	}
 	// ends are built in link-ID order; sort for determinism.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	for i := 1; i < len(s.adjacent); i++ {
+		for j := i; j > 0 && s.adjacent[j] < s.adjacent[j-1]; j-- {
+			s.adjacent[j], s.adjacent[j-1] = s.adjacent[j-1], s.adjacent[j]
 		}
 	}
-	return out
+	s.endsByAdj = make([][]int, len(s.adjacent))
+	for k, e := range s.ends {
+		for i, r := range s.adjacent {
+			if r == e.Remote {
+				s.endsByAdj[i] = append(s.endsByAdj[i], k)
+				break
+			}
+		}
+	}
+}
+
+// EndsTowards returns the indices of the ends whose remote part is the given
+// part, in increasing end order. The returned slice is a precomputed table
+// shared across calls — callers must not mutate it.
+func (s *Subdomain) EndsTowards(remote int) []int {
+	for i, r := range s.adjacent {
+		if r == remote {
+			return s.endsByAdj[i]
+		}
+	}
+	return nil
+}
+
+// AdjacentParts returns the sorted set of remote parts this subdomain shares a
+// DTLP with. The returned slice is precomputed and shared — callers must not
+// mutate it.
+func (s *Subdomain) AdjacentParts() []int {
+	return s.adjacent
 }
 
 // Reset restores the subdomain to the paper's initial condition (5.6):

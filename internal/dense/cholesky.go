@@ -18,6 +18,9 @@ var ErrNotPositiveDefinite = errors.New("dense: matrix is not positive definite"
 type Cholesky struct {
 	n int
 	l *Matrix
+	// lt is the row-major transpose of l, cached so the backward substitution
+	// walks memory with unit stride instead of striding down a column.
+	lt []float64
 }
 
 // NewCholesky factorises the SPD matrix a. It returns ErrNotPositiveDefinite
@@ -48,7 +51,13 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			l.Set(i, j, s/ljj)
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	lt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k <= i; k++ {
+			lt[k*n+i] = l.data[i*n+k]
+		}
+	}
+	return &Cholesky{n: n, l: l, lt: lt}, nil
 }
 
 // NewCholeskyCSR factorises a sparse SPD matrix by densifying it first; the
@@ -72,26 +81,34 @@ func (c *Cholesky) Solve(b sparse.Vec) sparse.Vec {
 	return x
 }
 
-// SolveTo solves A x = b into the provided x.
+// SolveTo solves A x = b into the provided x. It is the per-solve hot path of
+// every DTM subdomain, so both sweeps index the factor's backing arrays
+// directly through row sub-slices (letting the compiler hoist the bounds
+// checks) instead of going through Matrix.At element by element.
 func (c *Cholesky) SolveTo(x, b sparse.Vec) {
-	if len(b) != c.n || len(x) != c.n {
-		panic(fmt.Sprintf("dense: Cholesky.Solve dimension mismatch n=%d len(b)=%d len(x)=%d", c.n, len(b), len(x)))
+	n := c.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("dense: Cholesky.Solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
 	}
+	ld := c.l.data
 	// Forward substitution: L y = b (y stored in x).
-	for i := 0; i < c.n; i++ {
+	for i := 0; i < n; i++ {
+		row := ld[i*n : i*n+i+1]
 		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * x[k]
+		for k, xk := range x[:i] {
+			s -= row[k] * xk
 		}
-		x[i] = s / c.l.At(i, i)
+		x[i] = s / row[i]
 	}
-	// Backward substitution: Lᵀ x = y.
-	for i := c.n - 1; i >= 0; i-- {
+	// Backward substitution: Lᵀ x = y, over the cached transpose so the inner
+	// loop is a contiguous read.
+	for i := n - 1; i >= 0; i-- {
+		row := c.lt[i*n : (i+1)*n]
 		s := x[i]
-		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		x[i] = s / row[i]
 	}
 }
 

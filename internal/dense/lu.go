@@ -88,30 +88,37 @@ func (f *LU) Solve(b sparse.Vec) sparse.Vec {
 	return x
 }
 
-// SolveTo solves A x = b into the provided x.
+// SolveTo solves A x = b into the provided x. Like Cholesky.SolveTo it is a
+// factor-once/solve-many hot path (the fallback solver for merely-SNND
+// subdomains), so both sweeps run over direct row sub-slices of the packed
+// factor instead of per-element At calls.
 func (f *LU) SolveTo(x, b sparse.Vec) {
-	if len(b) != f.n || len(x) != f.n {
-		panic(fmt.Sprintf("dense: LU.Solve dimension mismatch n=%d len(b)=%d len(x)=%d", f.n, len(b), len(x)))
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("dense: LU.Solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
 	}
 	// Apply permutation: x = P b.
-	for i := 0; i < f.n; i++ {
+	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
+	lud := f.lu.data
 	// Forward substitution with unit lower triangle.
-	for i := 1; i < f.n; i++ {
+	for i := 1; i < n; i++ {
+		row := lud[i*n : i*n+i]
 		s := x[i]
-		for k := 0; k < i; k++ {
-			s -= f.lu.At(i, k) * x[k]
+		for k, xk := range x[:i] {
+			s -= row[k] * xk
 		}
 		x[i] = s
 	}
 	// Backward substitution with upper triangle.
-	for i := f.n - 1; i >= 0; i-- {
+	for i := n - 1; i >= 0; i-- {
+		row := lud[i*n : (i+1)*n]
 		s := x[i]
-		for k := i + 1; k < f.n; k++ {
-			s -= f.lu.At(i, k) * x[k]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
 		}
-		x[i] = s / f.lu.At(i, i)
+		x[i] = s / row[i]
 	}
 }
 

@@ -61,6 +61,9 @@ type ajEngine struct {
 	solved []bool
 	trace  []AsyncTracePoint
 	opts   *AsyncOptions
+	// pool recycles ajValue slices between sender and receiver; the DES run is
+	// single-threaded, so the plain free list keeps the hot path allocation-free.
+	pool netsim.Pool[ajValue]
 }
 
 type ajPacket struct {
@@ -80,22 +83,22 @@ type ajNode struct {
 	xView   sparse.Vec
 	local   sparse.Vec
 	compute float64
+	// outs is the reused outgoing buffer; netsim copies it before reuse.
+	outs []netsim.Outgoing[ajPacket]
 }
 
-func (n *ajNode) Init(now float64) []netsim.Outgoing {
+func (n *ajNode) Init(now float64) []netsim.Outgoing[ajPacket] {
 	// Announce the initial (zero) boundary values to bootstrap the exchange.
 	return n.packets()
 }
 
-func (n *ajNode) OnMessages(now float64, msgs []netsim.Message) []netsim.Outgoing {
-	for _, m := range msgs {
-		pkt, ok := m.Payload.(ajPacket)
-		if !ok {
-			continue
-		}
-		for _, v := range pkt.values {
+func (n *ajNode) OnMessages(now float64, msgs []netsim.Message[ajPacket]) []netsim.Outgoing[ajPacket] {
+	for i := range msgs {
+		values := msgs[i].Payload.values
+		for _, v := range values {
 			n.xView[v.global] = v.val
 		}
+		n.eng.pool.Put(values)
 	}
 	n.blk.solveLocal(n.xView, n.local)
 	var change float64
@@ -115,20 +118,20 @@ func (n *ajNode) OnMessages(now float64, msgs []netsim.Message) []netsim.Outgoin
 
 func (n *ajNode) ComputeTime(int) float64 { return n.compute }
 
-func (n *ajNode) packets() []netsim.Outgoing {
-	var outs []netsim.Outgoing
+func (n *ajNode) packets() []netsim.Outgoing[ajPacket] {
+	n.outs = n.outs[:0]
 	for _, q := range n.blk.adjacent {
 		list := n.blk.sendTo[q]
 		if len(list) == 0 {
 			continue
 		}
-		values := make([]ajValue, len(list))
-		for i, gv := range list {
-			values[i] = ajValue{global: gv, val: n.xView[gv]}
+		values := n.eng.pool.Get(len(list))
+		for _, gv := range list {
+			values = append(values, ajValue{global: gv, val: n.xView[gv]})
 		}
-		outs = append(outs, netsim.Outgoing{To: q, Payload: ajPacket{values: values}})
+		n.outs = append(n.outs, netsim.Outgoing[ajPacket]{To: q, Payload: ajPacket{values: values}})
 	}
-	return outs
+	return n.outs
 }
 
 // AsyncBlockJacobi runs the asynchronous block-Jacobi iteration on the given
@@ -199,7 +202,7 @@ func AsyncBlockJacobi(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, 
 		eng.last[i] = math.Inf(1)
 	}
 
-	nodes := make([]netsim.Node, len(blocks))
+	nodes := make([]netsim.Node[ajPacket], len(blocks))
 	for p, blk := range blocks {
 		nodes[p] = &ajNode{
 			eng:     eng,

@@ -13,38 +13,49 @@
 // and hands the simulator the messages to send; each message arrives at its
 // destination after the directed link delay. There is no synchronisation and
 // no broadcast — only neighbour-to-neighbour messages.
+//
+// The simulator is generic over the message payload type P, so a run over a
+// concrete payload (e.g. a wave packet) never boxes payloads into interfaces.
+// The event queue is an index-based 4-ary min-heap of value-typed events with
+// the (time, seq) comparison inlined; together with per-node inbox recycling
+// the steady-state event loop performs no heap allocations at all.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
 // Message is a payload in flight between two nodes.
-type Message struct {
+type Message[P any] struct {
 	From, To    int
-	Payload     any
+	Payload     P
 	SendTime    float64
 	DeliverTime float64
 }
 
 // Outgoing is a message a node wants to send; the simulator fills in the times.
-type Outgoing struct {
+type Outgoing[P any] struct {
 	To      int
-	Payload any
+	Payload P
 }
 
 // Node is a processor participating in the simulation.
-type Node interface {
+//
+// The slices passed to OnMessages and returned from Init/OnMessages are only
+// valid for the duration of the call: the simulator recycles its batch buffers
+// and copies the returned outgoing messages into the event queue before the
+// node runs again, so nodes may (and, on hot paths, should) reuse one
+// persistent Outgoing buffer across activations.
+type Node[P any] interface {
 	// Init is called once at virtual time 0 and returns the node's initial
 	// messages (DTM's "guess the initial boundary conditions and send them").
-	Init(now float64) []Outgoing
+	Init(now float64) []Outgoing[P]
 	// OnMessages is called when the node, being idle, has at least one
 	// delivered message. now is the virtual time at which the node finishes
 	// processing the batch (its wake-up time plus its compute time); msgs is
 	// the batch, in delivery order. The returned messages are sent at now.
-	OnMessages(now float64, msgs []Message) []Outgoing
+	OnMessages(now float64, msgs []Message[P]) []Outgoing[P]
 	// ComputeTime returns how long (in virtual time) processing a batch of the
 	// given size takes.
 	ComputeTime(batchSize int) float64
@@ -80,44 +91,108 @@ const (
 	evFree
 )
 
-type event struct {
-	time float64
-	seq  int64
-	kind int
-	node int
-	msg  Message
+// event is a value-typed queue entry; it is stored directly in the heap's
+// backing array, never allocated individually. It deliberately does not embed
+// a full Message: the destination equals node and the delivery time equals
+// time, so only the sender, send time and payload are carried — keeping the
+// entries the heap shuffles around 24 bytes smaller.
+type event[P any] struct {
+	time     float64
+	seq      int64
+	kind     int32
+	node     int32
+	from     int32
+	sendTime float64
+	payload  P
 }
 
-type eventQueue []*event
+// eventQueue is an index-based 4-ary min-heap ordered by (time, seq). The
+// 4-ary layout halves the tree depth of a binary heap and keeps the children
+// of a node in one or two cache lines; the comparison is inlined rather than
+// dispatched through the container/heap interface. seq is unique per event,
+// so (time, seq) is a strict total order and pop order is fully deterministic.
+type eventQueue[P any] struct {
+	a []event[P]
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+func (q *eventQueue[P]) len() int { return len(q.a) }
+
+// push inserts e, sifting up with a hole (moving parents down and writing e
+// once) instead of pairwise swaps.
+func (q *eventQueue[P]) push(e event[P]) {
+	q.a = append(q.a, e)
+	a := q.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if a[p].time < e.time || (a[p].time == e.time && a[p].seq < e.seq) {
+			break
+		}
+		a[i] = a[p]
+		i = p
 	}
-	return q[i].seq < q[j].seq
+	a[i] = e
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event.
+func (q *eventQueue[P]) pop() event[P] {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	var zero event[P]
+	a[n] = zero // drop payload references so the GC can reclaim them
+	q.a = a[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return top
+}
+
+// siftDown re-inserts e starting from the root, moving the smallest child up
+// into the hole until e's position is found.
+func (q *eventQueue[P]) siftDown(e event[P]) {
+	a := q.a
+	n := len(a)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].time < a[m].time || (a[j].time == a[m].time && a[j].seq < a[m].seq) {
+				m = j
+			}
+		}
+		if e.time < a[m].time || (e.time == a[m].time && e.seq < a[m].seq) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = e
 }
 
 // Simulator is a deterministic discrete-event simulator over a fixed set of
 // nodes and a delay function.
-type Simulator struct {
-	nodes []Node
+type Simulator[P any] struct {
+	nodes []Node[P]
 	delay DelayFunc
 
-	queue eventQueue
+	queue eventQueue[P]
 	seq   int64
 
-	inbox [][]Message
+	inbox [][]Message[P]
+	// spare[n] is the batch buffer node n consumed last; it is swapped back in
+	// as the next inbox so the steady state ping-pongs between two buffers per
+	// node and never reallocates.
+	spare [][]Message[P]
 	busy  []bool
 
 	now float64
@@ -130,40 +205,37 @@ type Simulator struct {
 }
 
 // New returns a simulator over the given nodes with the given link delays.
-func New(nodes []Node, delay DelayFunc) *Simulator {
+func New[P any](nodes []Node[P], delay DelayFunc) *Simulator[P] {
 	if len(nodes) == 0 {
 		panic("netsim: New requires at least one node")
 	}
 	if delay == nil {
 		panic("netsim: New requires a delay function")
 	}
-	s := &Simulator{
+	s := &Simulator[P]{
 		nodes: nodes,
 		delay: delay,
-		inbox: make([][]Message, len(nodes)),
+		inbox: make([][]Message[P], len(nodes)),
+		spare: make([][]Message[P], len(nodes)),
 		busy:  make([]bool, len(nodes)),
 	}
-	heap.Init(&s.queue)
+	s.queue.a = make([]event[P], 0, 4*len(nodes))
 	return s
 }
 
 // SetObserver registers a callback invoked after every node activation.
-func (s *Simulator) SetObserver(o Observer) { s.observer = o }
+func (s *Simulator[P]) SetObserver(o Observer) { s.observer = o }
 
 // SetStopCondition registers a predicate checked after every node activation;
 // when it returns true the run ends early.
-func (s *Simulator) SetStopCondition(stop func(now float64) bool) { s.stop = stop }
+func (s *Simulator[P]) SetStopCondition(stop func(now float64) bool) { s.stop = stop }
 
 // Now returns the current virtual time.
-func (s *Simulator) Now() float64 { return s.now }
+func (s *Simulator[P]) Now() float64 { return s.now }
 
-func (s *Simulator) schedule(t float64, kind, node int, msg Message) {
-	s.seq++
-	heap.Push(&s.queue, &event{time: t, seq: s.seq, kind: kind, node: node, msg: msg})
-}
-
-func (s *Simulator) send(from int, now float64, outs []Outgoing) {
-	for _, o := range outs {
+func (s *Simulator[P]) send(from int, now float64, outs []Outgoing[P]) {
+	for i := range outs {
+		o := &outs[i]
 		if o.To < 0 || o.To >= len(s.nodes) {
 			panic(fmt.Sprintf("netsim: node %d sent a message to unknown node %d", from, o.To))
 		}
@@ -171,18 +243,29 @@ func (s *Simulator) send(from int, now float64, outs []Outgoing) {
 		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 			panic(fmt.Sprintf("netsim: delay from %d to %d must be positive and finite, got %g", from, o.To, d))
 		}
-		msg := Message{From: from, To: o.To, Payload: o.Payload, SendTime: now, DeliverTime: now + d}
-		s.schedule(msg.DeliverTime, evArrival, o.To, msg)
+		s.seq++
+		s.queue.push(event[P]{
+			time:     now + d,
+			seq:      s.seq,
+			kind:     evArrival,
+			node:     int32(o.To),
+			from:     int32(from),
+			sendTime: now,
+			payload:  o.Payload,
+		})
 	}
 }
 
 // startNode lets an idle node with a non-empty inbox consume its batch.
-func (s *Simulator) startNode(node int, start float64) {
+func (s *Simulator[P]) startNode(node int, start float64) {
 	batch := s.inbox[node]
 	if len(batch) == 0 || s.busy[node] {
 		return
 	}
-	s.inbox[node] = nil
+	// Swap in the spare buffer for arrivals that land while this node computes;
+	// the consumed batch becomes the next spare once OnMessages returns.
+	s.inbox[node] = s.spare[node][:0]
+	s.spare[node] = nil
 	s.busy[node] = true
 	d := s.nodes[node].ComputeTime(len(batch))
 	if d < 0 || math.IsNaN(d) {
@@ -195,7 +278,11 @@ func (s *Simulator) startNode(node int, start float64) {
 	s.send(node, done, outs)
 	// The node becomes free at `done`; schedule the event so queued arrivals
 	// received meanwhile get processed then.
-	s.schedule(done, evFree, node, Message{})
+	s.seq++
+	s.queue.push(event[P]{time: done, seq: s.seq, kind: evFree, node: int32(node)})
+	// Recycle the batch buffer (zeroing payload references first).
+	clear(batch)
+	s.spare[node] = batch[:0]
 	if s.observer != nil {
 		s.observer(done, node)
 	}
@@ -204,25 +291,32 @@ func (s *Simulator) startNode(node int, start float64) {
 // Run executes the simulation until the event queue drains, the virtual clock
 // exceeds maxTime, or the stop condition fires. It returns the run statistics.
 // Run may be called once per simulator.
-func (s *Simulator) Run(maxTime float64) Stats {
+func (s *Simulator[P]) Run(maxTime float64) Stats {
 	// Initial messages at time 0.
 	for i, n := range s.nodes {
 		s.send(i, 0, n.Init(0))
 	}
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
+	for s.queue.len() > 0 {
+		e := s.queue.pop()
 		if e.time > maxTime {
 			s.now = maxTime
 			s.stats.Time = maxTime
 			return s.stats
 		}
 		s.now = e.time
+		node := int(e.node)
 		switch e.kind {
 		case evArrival:
 			s.stats.Messages++
-			s.inbox[e.node] = append(s.inbox[e.node], e.msg)
-			if !s.busy[e.node] {
-				s.startNode(e.node, e.time)
+			s.inbox[node] = append(s.inbox[node], Message[P]{
+				From:        int(e.from),
+				To:          node,
+				Payload:     e.payload,
+				SendTime:    e.sendTime,
+				DeliverTime: e.time,
+			})
+			if !s.busy[node] {
+				s.startNode(node, e.time)
 				if s.stop != nil && s.stop(s.now) {
 					s.stats.Time = s.now
 					s.stats.StoppedEarly = true
@@ -230,9 +324,9 @@ func (s *Simulator) Run(maxTime float64) Stats {
 				}
 			}
 		case evFree:
-			s.busy[e.node] = false
-			if len(s.inbox[e.node]) > 0 {
-				s.startNode(e.node, e.time)
+			s.busy[node] = false
+			if len(s.inbox[node]) > 0 {
+				s.startNode(node, e.time)
 				if s.stop != nil && s.stop(s.now) {
 					s.stats.Time = s.now
 					s.stats.StoppedEarly = true
@@ -243,4 +337,32 @@ func (s *Simulator) Run(maxTime float64) Stats {
 	}
 	s.stats.Time = s.now
 	return s.stats
+}
+
+// Pool is a tiny free list for payload buffers travelling through a
+// single-threaded simulation: senders Get a buffer, fill it, and ship it as a
+// message payload; the receiver Puts it back once the batch is consumed. It is
+// deliberately not safe for concurrent use — concurrent engines (which cannot
+// prove single ownership of in-flight buffers) should allocate instead.
+type Pool[T any] struct {
+	free [][]T
+}
+
+// Get hands out a recycled empty buffer, or a fresh one with the given
+// capacity hint.
+func (p *Pool[T]) Get(capHint int) []T {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b[:0]
+	}
+	return make([]T, 0, capHint)
+}
+
+// Put returns a consumed buffer to the free list.
+func (p *Pool[T]) Put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	p.free = append(p.free, b)
 }

@@ -14,25 +14,25 @@ type pingNode struct {
 	maxSends    int
 	sends       int
 	activations []float64
-	received    []Message
+	received    []Message[int]
 }
 
-func (n *pingNode) Init(now float64) []Outgoing {
+func (n *pingNode) Init(now float64) []Outgoing[int] {
 	if n.maxSends == 0 {
 		return nil
 	}
 	n.sends++
-	return []Outgoing{{To: n.peer, Payload: n.id}}
+	return []Outgoing[int]{{To: n.peer, Payload: n.id}}
 }
 
-func (n *pingNode) OnMessages(now float64, msgs []Message) []Outgoing {
+func (n *pingNode) OnMessages(now float64, msgs []Message[int]) []Outgoing[int] {
 	n.activations = append(n.activations, now)
 	n.received = append(n.received, msgs...)
 	if n.sends >= n.maxSends {
 		return nil
 	}
 	n.sends++
-	return []Outgoing{{To: n.peer, Payload: n.id}}
+	return []Outgoing[int]{{To: n.peer, Payload: n.id}}
 }
 
 func (n *pingNode) ComputeTime(batch int) float64 { return n.compute }
@@ -47,7 +47,7 @@ func TestPingPongDeliveryTimes(t *testing.T) {
 		}
 		return 5
 	}
-	sim := New([]Node{a, b}, delay)
+	sim := New([]Node[int]{a, b}, delay)
 	stats := sim.Run(1000)
 
 	// Both initial messages are sent at t=0: a's arrives at b at t=3, b's at a
@@ -84,7 +84,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() []float64 {
 		a := &pingNode{id: 0, peer: 1, compute: 0.5, maxSends: 6}
 		b := &pingNode{id: 1, peer: 0, compute: 0.25, maxSends: 6}
-		sim := New([]Node{a, b}, func(from, to int) float64 { return 1.5 + float64(from) })
+		sim := New([]Node[int]{a, b}, func(from, to int) float64 { return 1.5 + float64(from) })
 		sim.Run(1e6)
 		return append(append([]float64{}, a.activations...), b.activations...)
 	}
@@ -103,7 +103,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 func TestMaxTimeCutsTheRunOff(t *testing.T) {
 	a := &pingNode{id: 0, peer: 1, compute: 1, maxSends: 1 << 30}
 	b := &pingNode{id: 1, peer: 0, compute: 1, maxSends: 1 << 30}
-	sim := New([]Node{a, b}, func(from, to int) float64 { return 2 })
+	sim := New([]Node[int]{a, b}, func(from, to int) float64 { return 2 })
 	stats := sim.Run(50)
 	if stats.Time != 50 {
 		t.Errorf("final time = %g, want the 50 cut-off", stats.Time)
@@ -123,7 +123,7 @@ func TestMaxTimeCutsTheRunOff(t *testing.T) {
 func TestStopConditionEndsEarly(t *testing.T) {
 	a := &pingNode{id: 0, peer: 1, compute: 1, maxSends: 1 << 30}
 	b := &pingNode{id: 1, peer: 0, compute: 1, maxSends: 1 << 30}
-	sim := New([]Node{a, b}, func(from, to int) float64 { return 2 })
+	sim := New([]Node[int]{a, b}, func(from, to int) float64 { return 2 })
 	count := 0
 	sim.SetStopCondition(func(now float64) bool {
 		count++
@@ -141,7 +141,7 @@ func TestStopConditionEndsEarly(t *testing.T) {
 func TestObserverSeesEveryActivation(t *testing.T) {
 	a := &pingNode{id: 0, peer: 1, compute: 1, maxSends: 3}
 	b := &pingNode{id: 1, peer: 0, compute: 1, maxSends: 3}
-	sim := New([]Node{a, b}, func(from, to int) float64 { return 1 })
+	sim := New([]Node[int]{a, b}, func(from, to int) float64 { return 1 })
 	var times []float64
 	var nodes []int
 	sim.SetObserver(func(now float64, node int) {
@@ -170,8 +170,8 @@ type batchNode struct {
 	batches []int
 }
 
-func (n *batchNode) Init(now float64) []Outgoing { return nil }
-func (n *batchNode) OnMessages(now float64, msgs []Message) []Outgoing {
+func (n *batchNode) Init(now float64) []Outgoing[int] { return nil }
+func (n *batchNode) OnMessages(now float64, msgs []Message[int]) []Outgoing[int] {
 	n.batches = append(n.batches, len(msgs))
 	return nil
 }
@@ -180,20 +180,20 @@ func (n *batchNode) ComputeTime(batch int) float64 { return 10 }
 // burstNode sends k messages to node 1 at start-up and is silent afterwards.
 type burstNode struct{ k int }
 
-func (n *burstNode) Init(now float64) []Outgoing {
-	outs := make([]Outgoing, n.k)
+func (n *burstNode) Init(now float64) []Outgoing[int] {
+	outs := make([]Outgoing[int], n.k)
 	for i := range outs {
-		outs[i] = Outgoing{To: 1, Payload: i}
+		outs[i] = Outgoing[int]{To: 1, Payload: i}
 	}
 	return outs
 }
-func (n *burstNode) OnMessages(now float64, msgs []Message) []Outgoing { return nil }
-func (n *burstNode) ComputeTime(batch int) float64                     { return 1 }
+func (n *burstNode) OnMessages(now float64, msgs []Message[int]) []Outgoing[int] { return nil }
+func (n *burstNode) ComputeTime(batch int) float64                               { return 1 }
 
 func TestSimultaneousArrivalsAreBatched(t *testing.T) {
 	sender := &burstNode{k: 4}
 	receiver := &batchNode{}
-	sim := New([]Node{sender, receiver}, func(from, to int) float64 { return 2 })
+	sim := New([]Node[int]{sender, receiver}, func(from, to int) float64 { return 2 })
 	stats := sim.Run(1e6)
 	// All four messages arrive at t=2; the first arrival activates the node and
 	// the remaining three are already in the inbox... depending on heap pop
@@ -224,7 +224,7 @@ func TestBusyNodeDefersNextBatch(t *testing.T) {
 	s2 := &burstToNode{to: 3}
 	receiver := &batchNode{}
 	delay := func(from, to int) float64 { return float64(from + 1) }
-	sim := New([]Node{s0, s1, s2, receiver}, delay)
+	sim := New([]Node[int]{s0, s1, s2, receiver}, delay)
 	sim.Run(1e6)
 	if len(receiver.batches) != 2 {
 		t.Fatalf("batches = %v, want 2 activations", receiver.batches)
@@ -238,25 +238,25 @@ func TestBusyNodeDefersNextBatch(t *testing.T) {
 // start-up and is silent afterwards.
 type burstToNode struct{ to int }
 
-func (n *burstToNode) Init(now float64) []Outgoing {
-	return []Outgoing{{To: n.to, Payload: "hello"}}
+func (n *burstToNode) Init(now float64) []Outgoing[int] {
+	return []Outgoing[int]{{To: n.to, Payload: 7}}
 }
-func (n *burstToNode) OnMessages(now float64, msgs []Message) []Outgoing { return nil }
-func (n *burstToNode) ComputeTime(batch int) float64                     { return 1 }
+func (n *burstToNode) OnMessages(now float64, msgs []Message[int]) []Outgoing[int] { return nil }
+func (n *burstToNode) ComputeTime(batch int) float64                               { return 1 }
 
 func TestInvalidConstructionPanics(t *testing.T) {
 	cases := []struct {
 		name string
 		fn   func()
 	}{
-		{"no nodes", func() { New(nil, func(a, b int) float64 { return 1 }) }},
-		{"nil delay", func() { New([]Node{&batchNode{}}, nil) }},
+		{"no nodes", func() { New[int](nil, func(a, b int) float64 { return 1 }) }},
+		{"nil delay", func() { New([]Node[int]{&batchNode{}}, nil) }},
 		{"unknown destination", func() {
-			sim := New([]Node{&burstNode{k: 1}}, func(a, b int) float64 { return 1 })
+			sim := New([]Node[int]{&burstNode{k: 1}}, func(a, b int) float64 { return 1 })
 			sim.Run(10)
 		}},
 		{"non-positive delay", func() {
-			sim := New([]Node{&burstNode{k: 1}, &batchNode{}}, func(a, b int) float64 { return 0 })
+			sim := New([]Node[int]{&burstNode{k: 1}, &batchNode{}}, func(a, b int) float64 { return 0 })
 			sim.Run(10)
 		}},
 	}
@@ -275,7 +275,7 @@ func TestInvalidConstructionPanics(t *testing.T) {
 func TestNowTracksVirtualTime(t *testing.T) {
 	a := &pingNode{id: 0, peer: 1, compute: 1, maxSends: 2}
 	b := &pingNode{id: 1, peer: 0, compute: 1, maxSends: 2}
-	sim := New([]Node{a, b}, func(from, to int) float64 { return 3 })
+	sim := New([]Node[int]{a, b}, func(from, to int) float64 { return 3 })
 	if sim.Now() != 0 {
 		t.Errorf("initial Now = %g", sim.Now())
 	}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue is a container/heap reference implementation with the
+// same (time, seq) ordering the 4-ary value heap inlines; the equivalence test
+// below drives both with identical random event streams and demands identical
+// pop order.
+type refEvent struct {
+	time float64
+	seq  int64
+}
+
+type refQueue []refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func TestFourAryHeapMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var fast eventQueue[int]
+		ref := &refQueue{}
+		heap.Init(ref)
+		var seq int64
+		n := 1 + rng.Intn(400)
+		// Interleave pushes and pops the way a simulation does: bursts of
+		// schedules separated by pops, with many duplicate timestamps so the
+		// seq tie-break is exercised constantly.
+		for op := 0; op < n; op++ {
+			if fast.len() > 0 && rng.Intn(3) == 0 {
+				pops := 1 + rng.Intn(fast.len())
+				for p := 0; p < pops; p++ {
+					got := fast.pop()
+					want := heap.Pop(ref).(refEvent)
+					if got.time != want.time || got.seq != want.seq {
+						t.Fatalf("trial %d: pop mismatch: got (%g,%d), want (%g,%d)",
+							trial, got.time, got.seq, want.time, want.seq)
+					}
+				}
+				continue
+			}
+			pushes := 1 + rng.Intn(8)
+			for p := 0; p < pushes; p++ {
+				// Coarse times produce plenty of exact collisions.
+				tm := float64(rng.Intn(20))
+				seq++
+				fast.push(event[int]{time: tm, seq: seq})
+				heap.Push(ref, refEvent{time: tm, seq: seq})
+			}
+		}
+		// Drain completely; the full pop sequence must agree.
+		for fast.len() > 0 {
+			got := fast.pop()
+			want := heap.Pop(ref).(refEvent)
+			if got.time != want.time || got.seq != want.seq {
+				t.Fatalf("trial %d: drain mismatch: got (%g,%d), want (%g,%d)",
+					trial, got.time, got.seq, want.time, want.seq)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference heap retained %d events", trial, ref.Len())
+		}
+	}
+}
+
+// chatterNode exchanges messages over randomised (but deterministic per seed)
+// link delays for the determinism regression test.
+type chatterNode struct {
+	id, n       int
+	maxSends    int
+	sends       int
+	activations []float64
+}
+
+func (c *chatterNode) Init(now float64) []Outgoing[int] {
+	c.sends++
+	return []Outgoing[int]{{To: (c.id + 1) % c.n, Payload: c.id}}
+}
+
+func (c *chatterNode) OnMessages(now float64, msgs []Message[int]) []Outgoing[int] {
+	c.activations = append(c.activations, now)
+	if c.sends >= c.maxSends {
+		return nil
+	}
+	c.sends++
+	return []Outgoing[int]{
+		{To: (c.id + 1) % c.n, Payload: c.id},
+		{To: (c.id + c.n - 1) % c.n, Payload: c.id},
+	}
+}
+
+func (c *chatterNode) ComputeTime(batch int) float64 { return 0.3 + 0.1*float64(c.id%3) }
+
+func TestRunsAreDeterministicStatsAndTrace(t *testing.T) {
+	run := func() (Stats, [][]float64) {
+		const n = 7
+		nodes := make([]Node[int], n)
+		chatters := make([]*chatterNode, n)
+		for i := range nodes {
+			c := &chatterNode{id: i, n: n, maxSends: 40}
+			chatters[i] = c
+			nodes[i] = c
+		}
+		delay := func(from, to int) float64 { return 1 + 0.7*float64((from*31+to*17)%11) }
+		sim := New(nodes, delay)
+		stats := sim.Run(1e6)
+		traces := make([][]float64, n)
+		for i, c := range chatters {
+			traces[i] = c.activations
+		}
+		return stats, traces
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ between identical runs:\n  %+v\n  %+v", s1, s2)
+	}
+	for i := range t1 {
+		if len(t1[i]) != len(t2[i]) {
+			t.Fatalf("node %d: activation counts differ: %d vs %d", i, len(t1[i]), len(t2[i]))
+		}
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatalf("node %d activation %d differs: %g vs %g", i, j, t1[i][j], t2[i][j])
+			}
+		}
+	}
+	if s1.Activations == 0 || s1.Messages == 0 {
+		t.Fatalf("degenerate run: %+v", s1)
+	}
+}
