@@ -16,10 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full benchmark sweep of the three hot-path figures plus a machine-readable
-# summary (wall time / allocations per experiment) in BENCH_dtm.json.
+# Full benchmark sweep of the hot-path figures and the E6 scale experiment,
+# plus a machine-readable summary (wall time / allocations per experiment) in
+# BENCH_dtm.json.
 bench:
-	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$' \
+	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$|BenchmarkE6ScaleSparse$$' \
 		-benchmem -benchtime=2x -run '^$$' .
 	$(GO) run ./cmd/dtmbench -benchjson BENCH_dtm.json -quick
 

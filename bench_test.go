@@ -81,6 +81,11 @@ func BenchmarkAblationDelays(b *testing.B) { benchmarkExperiment(b, "ablation-de
 // BenchmarkAblationMixed regenerates the sync/async-mixing (GALS) ablation (E5).
 func BenchmarkAblationMixed(b *testing.B) { benchmarkExperiment(b, "ablation-mixed") }
 
+// BenchmarkE6ScaleSparse regenerates the scale-sparse experiment (E6): the
+// whole-system sparse Cholesky at grid sizes where the dense backends fail to
+// allocate, plus a DTM run with sparse local factorisations.
+func BenchmarkE6ScaleSparse(b *testing.B) { benchmarkExperiment(b, "scale-sparse") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

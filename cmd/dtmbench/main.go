@@ -21,17 +21,28 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/factor"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment to run (see -list)")
-		all       = flag.Bool("all", false, "run every registered experiment")
-		quick     = flag.Bool("quick", false, "use reduced problem sizes")
-		list      = flag.Bool("list", false, "list the available experiments")
-		benchjson = flag.String("benchjson", "", "measure the hot-path experiments and write machine-readable results to this JSON file")
+		exp         = flag.String("exp", "", "experiment to run (see -list)")
+		all         = flag.Bool("all", false, "run every registered experiment")
+		quick       = flag.Bool("quick", false, "use reduced problem sizes")
+		list        = flag.Bool("list", false, "list the available experiments")
+		benchjson   = flag.String("benchjson", "", "measure the hot-path experiments and write machine-readable results to this JSON file")
+		localSolver = flag.String("localsolver", "", fmt.Sprintf("local-factorisation backend every experiment's subdomain/block solves use: one of %v (default %q)", factor.Backends(), factor.Default()))
 	)
 	flag.Parse()
+
+	if *localSolver != "" {
+		// The experiments construct their own option structs; steering the
+		// factor package default reaches every one of them at once.
+		if err := factor.SetDefault(*localSolver); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	registry := experiments.Registry()
 	switch {
@@ -101,7 +112,7 @@ type benchFile struct {
 }
 
 // benchExperiments are the hot-path figures whose cost is tracked over time.
-var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi"}
+var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse"}
 
 func writeBenchJSON(registry map[string]experiments.Runner, path string, quick bool) error {
 	out := benchFile{Generated: "dtmbench -benchjson", GoVersion: runtime.Version()}

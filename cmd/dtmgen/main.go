@@ -1,6 +1,6 @@
 // Command dtmgen generates sparse SPD test systems (the workloads of the
-// paper's Section 7 and a few extras) and writes them to disk in the simple
-// text format understood by internal/sparse and cmd/dtmsolve.
+// paper's Section 7 and a few extras) and writes them to disk in MatrixMarket
+// format, understood by internal/sparse, cmd/dtmsolve and external tools.
 //
 // Usage examples:
 //
@@ -24,8 +24,9 @@ func main() {
 		nz     = flag.Int("nz", 9, "grid depth (poisson3d)")
 		n      = flag.Int("n", 500, "dimension for non-grid generators")
 		seed   = flag.Int64("seed", 1, "random seed")
-		matrix = flag.String("matrix", "A.mtx", "output matrix file")
-		rhs    = flag.String("rhs", "b.vec", "output right-hand-side file")
+		matrix = flag.String("matrix", "A.mtx", "output matrix file (MatrixMarket coordinate format)")
+		rhs    = flag.String("rhs", "b.vec", "output right-hand-side file (MatrixMarket array format)")
+		sym    = flag.Bool("sym", false, "write the matrix in MatrixMarket symmetric form (stores one triangle, halves the file)")
 	)
 	flag.Parse()
 
@@ -48,20 +49,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := writeSystem(sys, *matrix, *rhs); err != nil {
+	if err := writeSystem(sys, *matrix, *rhs, *sym); err != nil {
 		fmt.Fprintf(os.Stderr, "dtmgen: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (n=%d, nnz=%d) and %s\n", *matrix, sys.Dim(), sys.A.NNZ(), *rhs)
 }
 
-func writeSystem(sys sparse.System, matrixPath, rhsPath string) error {
+func writeSystem(sys sparse.System, matrixPath, rhsPath string, symmetric bool) error {
 	mf, err := os.Create(matrixPath)
 	if err != nil {
 		return err
 	}
 	defer mf.Close()
-	if err := sparse.WriteMatrix(mf, sys.A); err != nil {
+	write := sparse.WriteMatrix
+	if symmetric {
+		write = sparse.WriteMatrixSym
+	}
+	if err := write(mf, sys.A); err != nil {
 		return err
 	}
 	rf, err := os.Create(rhsPath)

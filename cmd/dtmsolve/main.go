@@ -3,7 +3,8 @@
 // statistics.
 //
 // The system is either generated (-gen poisson2d -nx 33 -ny 33) or read from
-// files (-matrix A.mtx -rhs b.vec, in the simple text format of internal/sparse).
+// files (-matrix A.mtx -rhs b.vec, MatrixMarket format — general, symmetric
+// and pattern coordinate files as well as array files are accepted).
 //
 // Usage examples:
 //
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/factor"
 	"repro/internal/graph"
 	"repro/internal/iterative"
 	"repro/internal/partition"
@@ -41,6 +43,7 @@ type options struct {
 	maxTime     float64
 	maxIter     int
 	tol         float64
+	localSolver string
 	printX      bool
 }
 
@@ -51,8 +54,8 @@ func main() {
 	flag.IntVar(&o.ny, "ny", 33, "grid height for grid generators")
 	flag.IntVar(&o.n, "n", 500, "dimension for non-grid generators")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed for the generators")
-	flag.StringVar(&o.matrix, "matrix", "", "matrix file (text format of internal/sparse)")
-	flag.StringVar(&o.rhs, "rhs", "", "right-hand-side file")
+	flag.StringVar(&o.matrix, "matrix", "", "matrix file (MatrixMarket .mtx)")
+	flag.StringVar(&o.rhs, "rhs", "", "right-hand-side file (MatrixMarket array or coordinate)")
 	flag.StringVar(&o.method, "method", "dtm", "solver: dtm, vtm, mixed, live, cg, pcg, jacobi, gauss-seidel, sor, block-jacobi, async-jacobi")
 	flag.IntVar(&o.parts, "parts", 4, "number of subdomains / blocks for the distributed solvers")
 	flag.StringVar(&o.topo, "topo", "uniform", "machine: uniform, mesh4x4, mesh8x8, ring, torus")
@@ -60,9 +63,14 @@ func main() {
 	flag.Float64Var(&o.maxTime, "maxtime", 10000, "virtual time horizon for dtm/async-jacobi (topology time units)")
 	flag.IntVar(&o.maxIter, "maxiter", 5000, "iteration bound for the discrete-time solvers")
 	flag.Float64Var(&o.tol, "tol", 1e-8, "stopping tolerance")
+	flag.StringVar(&o.localSolver, "localsolver", "", fmt.Sprintf("local-factorisation backend for the block/subdomain solvers: one of %v (default: the factor package default, %q)", factor.Backends(), factor.Default()))
 	flag.BoolVar(&o.printX, "print-x", false, "print the solution vector")
 	flag.Parse()
 
+	if o.localSolver != "" && !factor.Known(o.localSolver) {
+		fmt.Fprintf(os.Stderr, "dtmsolve: unknown local solver %q (have %v)\n", o.localSolver, factor.Backends())
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
 		os.Exit(1)
@@ -211,7 +219,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol})
+		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol, LocalSolver: o.localSolver})
 		if err != nil {
 			return nil, "", err
 		}
@@ -222,7 +230,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveVTM(prob, core.VTMOptions{MaxIterations: o.maxIter, Tol: o.tol})
+		res, err := core.SolveVTM(prob, core.VTMOptions{MaxIterations: o.maxIter, Tol: o.tol, LocalSolver: o.localSolver})
 		if err != nil {
 			return nil, "", err
 		}
@@ -238,6 +246,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 			AsyncWindow: o.maxTime / 20,
 			SyncSweeps:  1,
 			Tol:         o.tol,
+			LocalSolver: o.localSolver,
 		})
 		if err != nil {
 			return nil, "", err
@@ -253,6 +262,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 			MaxWallTime: 3 * time.Second,
 			TimeScale:   20 * time.Microsecond,
 			Tol:         o.tol,
+			LocalSolver: o.localSolver,
 		})
 		if err != nil {
 			return nil, "", err
@@ -280,7 +290,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		return x, iterSummary(st), err
 	case "block-jacobi":
 		assign := partition.Strips(sys.Dim(), o.parts)
-		x, st, err := iterative.BlockJacobi(sys.A, sys.B, assign, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
+		x, st, err := iterative.BlockJacobi(sys.A, sys.B, assign, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol, LocalSolver: o.localSolver})
 		return x, iterSummary(st), err
 	case "async-jacobi":
 		topo, err := machine(o)
@@ -288,7 +298,7 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 			return nil, "", err
 		}
 		assign := partition.Strips(sys.Dim(), o.parts)
-		res, err := iterative.AsyncBlockJacobi(sys.A, sys.B, assign, topo, iterative.AsyncOptions{MaxTime: o.maxTime, Tol: o.tol})
+		res, err := iterative.AsyncBlockJacobi(sys.A, sys.B, assign, topo, iterative.AsyncOptions{MaxTime: o.maxTime, Tol: o.tol, LocalSolver: o.localSolver})
 		if err != nil {
 			return nil, "", err
 		}

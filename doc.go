@@ -5,7 +5,12 @@
 // The library lives under internal/ (see DESIGN.md for the full inventory):
 //
 //   - internal/sparse, internal/dense, internal/spectral — the numerical
-//     substrate (CSR matrices, Cholesky/LU/eigen, definiteness certification);
+//     substrate (CSR matrices, MatrixMarket I/O, Cholesky/LU/eigen,
+//     definiteness certification);
+//   - internal/factor — the pluggable local-factorisation subsystem: one
+//     LocalSolver interface over dense Cholesky/LU and a sparse Cholesky with
+//     reverse Cuthill-McKee ordering, plus the auto policy with the
+//     Cholesky-to-LU fallback every subdomain and block solver uses;
 //   - internal/graph, internal/partition — the electric graph of a symmetric
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission

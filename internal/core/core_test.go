@@ -184,7 +184,7 @@ func TestSubdomainAccessorsAndWaves(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewProblem: %v", err)
 	}
-	subs, zs, err := prob.buildSubdomains(paperImpedances())
+	subs, zs, err := prob.buildSubdomains(paperImpedances(), "")
 	if err != nil {
 		t.Fatalf("buildSubdomains: %v", err)
 	}
@@ -296,7 +296,7 @@ func TestNewSubdomainRejectsBadImpedances(t *testing.T) {
 	// Impedance slice indexed by link ID with a zero entry: NewSubdomain must
 	// reject the non-positive impedance.
 	zs := []float64{0.2, 0}
-	if _, err := NewSubdomain(res.Subdomains[0], res.LinksOfPart(0), zs); err == nil {
+	if _, err := NewSubdomain(res.Subdomains[0], res.LinksOfPart(0), zs, ""); err == nil {
 		t.Errorf("a non-positive impedance must be rejected")
 	}
 }

@@ -4,16 +4,18 @@ import (
 	"testing"
 
 	"repro/internal/dense"
+	"repro/internal/factor"
 	"repro/internal/netsim"
 	"repro/internal/sparse"
 	"repro/internal/topology"
 )
 
-// TestSolveDTMIsDeterministic pins the zero-allocation event core to the DES
-// contract the paper's figures rely on: two runs with identical inputs must
-// produce identical solve/message counts, identical solutions bit for bit, and
-// identical convergence traces.
-func TestSolveDTMIsDeterministic(t *testing.T) {
+// TestSolveDTMDeterminism pins the zero-allocation event core to the DES
+// contract the paper's figures rely on, for every local-factorisation
+// backend: two runs with identical inputs must produce identical
+// solve/message counts, identical solutions bit for bit, and identical
+// convergence traces.
+func TestSolveDTMDeterminism(t *testing.T) {
 	sys := sparse.RandomGridSPD(13, 13, 7)
 	exact, err := dense.SolveExact(sys.A, sys.B)
 	if err != nil {
@@ -21,7 +23,7 @@ func TestSolveDTMIsDeterministic(t *testing.T) {
 	}
 	topo := topology.Mesh4x4Paper()
 
-	run := func() *Result {
+	run := func(backend string) *Result {
 		prob, err := GridProblem(sys, 13, 13, 4, 4, topo)
 		if err != nil {
 			t.Fatalf("GridProblem: %v", err)
@@ -31,6 +33,7 @@ func TestSolveDTMIsDeterministic(t *testing.T) {
 			Exact:       exact,
 			StopOnError: 1e-6,
 			RecordTrace: true,
+			LocalSolver: backend,
 		})
 		if err != nil {
 			t.Fatalf("SolveDTM: %v", err)
@@ -38,37 +41,45 @@ func TestSolveDTMIsDeterministic(t *testing.T) {
 		return res
 	}
 
-	a, b := run(), run()
-	if a.Solves != b.Solves {
-		t.Errorf("Solves differ: %d vs %d", a.Solves, b.Solves)
-	}
-	if a.Messages != b.Messages {
-		t.Errorf("Messages differ: %d vs %d", a.Messages, b.Messages)
-	}
-	if a.FinalTime != b.FinalTime {
-		t.Errorf("FinalTime differs: %g vs %g", a.FinalTime, b.FinalTime)
-	}
-	if a.TwinGap != b.TwinGap {
-		t.Errorf("TwinGap differs: %g vs %g", a.TwinGap, b.TwinGap)
-	}
-	if len(a.X) != len(b.X) {
-		t.Fatalf("X lengths differ: %d vs %d", len(a.X), len(b.X))
-	}
-	for i := range a.X {
-		if a.X[i] != b.X[i] {
-			t.Fatalf("X[%d] differs: %g vs %g", i, a.X[i], b.X[i])
+	for _, backend := range []string{"", factor.DenseCholesky, factor.SparseCholesky, factor.Auto} {
+		name := backend
+		if name == "" {
+			name = "default"
 		}
-	}
-	if len(a.Trace) != len(b.Trace) {
-		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
-	}
-	for i := range a.Trace {
-		if a.Trace[i] != b.Trace[i] {
-			t.Fatalf("trace point %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
-		}
-	}
-	if !a.Converged {
-		t.Errorf("run did not converge: %+v", a)
+		t.Run(name, func(t *testing.T) {
+			a, b := run(backend), run(backend)
+			if a.Solves != b.Solves {
+				t.Errorf("Solves differ: %d vs %d", a.Solves, b.Solves)
+			}
+			if a.Messages != b.Messages {
+				t.Errorf("Messages differ: %d vs %d", a.Messages, b.Messages)
+			}
+			if a.FinalTime != b.FinalTime {
+				t.Errorf("FinalTime differs: %g vs %g", a.FinalTime, b.FinalTime)
+			}
+			if a.TwinGap != b.TwinGap {
+				t.Errorf("TwinGap differs: %g vs %g", a.TwinGap, b.TwinGap)
+			}
+			if len(a.X) != len(b.X) {
+				t.Fatalf("X lengths differ: %d vs %d", len(a.X), len(b.X))
+			}
+			for i := range a.X {
+				if a.X[i] != b.X[i] {
+					t.Fatalf("X[%d] differs: %g vs %g", i, a.X[i], b.X[i])
+				}
+			}
+			if len(a.Trace) != len(b.Trace) {
+				t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+			}
+			for i := range a.Trace {
+				if a.Trace[i] != b.Trace[i] {
+					t.Fatalf("trace point %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+				}
+			}
+			if !a.Converged {
+				t.Errorf("run did not converge: %+v", a)
+			}
+		})
 	}
 }
 
@@ -84,7 +95,7 @@ func TestIncrementalTwinGapMatchesFullScan(t *testing.T) {
 		t.Fatalf("GridProblem: %v", err)
 	}
 	opts := Options{MaxTime: 800, Tol: 1e-7}
-	subs, _, err := prob.buildSubdomains(opts.impedance())
+	subs, _, err := prob.buildSubdomains(opts.impedance(), opts.LocalSolver)
 	if err != nil {
 		t.Fatalf("buildSubdomains: %v", err)
 	}

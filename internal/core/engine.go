@@ -399,7 +399,7 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 	if err := opts.validate(p); err != nil {
 		return nil, err
 	}
-	subs, zs, err := p.buildSubdomains(opts.impedance())
+	subs, zs, err := p.buildSubdomains(opts.impedance(), opts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,9 @@ type LiveOptions struct {
 	// Impedance selects the characteristic impedance of every DTLP.
 	// Default: dtl.DiagScaled{Alpha: 1}.
 	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend (a backend name
+	// registered in internal/factor); empty selects the package default.
+	LocalSolver string
 	// TimeScale converts one topology time unit into wall-clock time, e.g.
 	// 100·time.Microsecond turns a 10 ms-unit mesh delay into 1 ms of real
 	// time. Default: 100 µs per unit.
@@ -69,10 +72,13 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 	if strategy == nil {
 		strategy = dtl.DiagScaled{Alpha: 1}
 	}
-	subs, zs, err := p.buildSubdomains(strategy)
+	subs, zs, err := p.buildSubdomains(strategy, opts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
+	// The subdomain goroutines all query link delays; route the topology now
+	// so the lazy all-pairs computation does not race between them.
+	p.Topology.Route()
 	nParts := len(subs)
 	owner := p.OwnerPairs()
 	links := p.Partition.Links

@@ -19,6 +19,9 @@ type MixedOptions struct {
 	// Impedance selects the characteristic impedance of every DTLP.
 	// Default: dtl.DiagScaled{Alpha: 1}.
 	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend (a backend name
+	// registered in internal/factor); empty selects the package default.
+	LocalSolver string
 	// MaxTime is the total virtual horizon. Required.
 	MaxTime float64
 	// AsyncWindow is the length of each asynchronous phase (virtual time).
@@ -79,6 +82,7 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 	// the synchronous sweeps share the subdomains and the bookkeeping engine.
 	engineOpts := Options{
 		Impedance:      opts.Impedance,
+		LocalSolver:    opts.LocalSolver,
 		MaxTime:        opts.MaxTime,
 		Tol:            opts.Tol,
 		Exact:          opts.Exact,
@@ -86,7 +90,7 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 		RecordTrace:    opts.RecordTrace,
 		TraceMaxPoints: opts.TraceMaxPoints,
 	}
-	subs, zs, err := p.buildSubdomains(engineOpts.impedance())
+	subs, zs, err := p.buildSubdomains(engineOpts.impedance(), engineOpts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dtl"
+	"repro/internal/factor"
 	"repro/internal/sparse"
 )
 
@@ -14,6 +15,13 @@ type Options struct {
 	// Impedance selects the characteristic impedance of every DTLP.
 	// Default: dtl.DiagScaled{Alpha: 1}.
 	Impedance dtl.ImpedanceStrategy
+
+	// LocalSolver selects the local-factorisation backend every subdomain
+	// factorises its constant system with (a backend name registered in
+	// internal/factor: "dense-cholesky", "dense-lu", "sparse-cholesky" or
+	// "auto"). Empty selects the factor package default ("auto"). Results are
+	// byte-identical run over run for a fixed backend.
+	LocalSolver string
 
 	// MaxTime is the virtual time horizon of the run (same unit as the
 	// topology's delays). Required.
@@ -68,6 +76,9 @@ func (o *Options) validate(p *Problem) error {
 	}
 	if o.Tol < 0 || o.StopOnError < 0 || o.SendThreshold < 0 {
 		return fmt.Errorf("core: tolerances must be non-negative")
+	}
+	if o.LocalSolver != "" && !factor.Known(o.LocalSolver) {
+		return fmt.Errorf("core: unknown local solver backend %q (have %v)", o.LocalSolver, factor.Backends())
 	}
 	return nil
 }

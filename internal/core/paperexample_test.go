@@ -116,7 +116,7 @@ func TestPaperLocalSystemMatchesEquation54(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewProblem: %v", err)
 	}
-	subs, _, err := prob.buildSubdomains(paperImpedances())
+	subs, _, err := prob.buildSubdomains(paperImpedances(), "")
 	if err != nil {
 		t.Fatalf("buildSubdomains: %v", err)
 	}

@@ -121,15 +121,16 @@ func (p *Problem) OwnerPairs() [][][2]int {
 }
 
 // buildSubdomains instantiates the per-part DTM solvers with the impedances
-// chosen by the strategy. It is shared by the DES, VTM and live engines.
-func (p *Problem) buildSubdomains(strategy dtl.ImpedanceStrategy) ([]*Subdomain, []float64, error) {
+// chosen by the strategy and the given local-factorisation backend (empty for
+// the factor package default). It is shared by the DES, VTM and live engines.
+func (p *Problem) buildSubdomains(strategy dtl.ImpedanceStrategy, backend string) ([]*Subdomain, []float64, error) {
 	zs, err := dtl.Assign(p.Partition, strategy)
 	if err != nil {
 		return nil, nil, err
 	}
 	subs := make([]*Subdomain, p.Partition.NumParts())
 	for i, ps := range p.Partition.Subdomains {
-		sd, err := NewSubdomain(ps, p.Partition.LinksOfPart(i), zs)
+		sd, err := NewSubdomain(ps, p.Partition.LinksOfPart(i), zs, backend)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: building subdomain %d: %w", i, err)
 		}

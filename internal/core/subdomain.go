@@ -1,11 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
-	"repro/internal/dense"
+	"repro/internal/factor"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 )
@@ -24,12 +23,6 @@ type LinkEnd struct {
 	Z float64
 }
 
-// localSolver is the factor-once/solve-many interface shared by the Cholesky
-// and LU factorisations of the local system.
-type localSolver interface {
-	SolveTo(x, b sparse.Vec)
-}
-
 // Subdomain is the per-processor state of DTM: the factorised local system of
 // equation (5.9), the incident DTL endpoints, the latest incoming waves
 // (remote boundary conditions) and the latest local solution.
@@ -42,7 +35,7 @@ type Subdomain struct {
 	numPorts  int
 	globalIdx []int
 
-	solver  localSolver
+	solver  factor.LocalSolver
 	baseRHS sparse.Vec
 
 	ends []LinkEnd
@@ -73,9 +66,12 @@ type Subdomain struct {
 // impedance per link ID (indexed by TwinLink.ID over the whole partition).
 //
 // The local coefficient matrix is A_local + Σ_ends (1/Z) e_p e_pᵀ — constant
-// throughout the computation — and is factorised here once: by Cholesky when
-// it is SPD, falling back to LU with partial pivoting otherwise.
-func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []float64) (*Subdomain, error) {
+// throughout the computation — and is factorised here once through the
+// internal/factor backend registry. backend names a registered backend
+// ("dense-cholesky", "dense-lu", "sparse-cholesky", "auto"); the empty string
+// selects the factor package default ("auto": Cholesky sized to the block,
+// falling back to LU with partial pivoting for merely-SNND blocks).
+func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []float64, backend string) (*Subdomain, error) {
 	s := &Subdomain{
 		part:      sub.Part,
 		numPorts:  sub.NumPorts,
@@ -123,18 +119,12 @@ func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []floa
 
 	// Build and factorise the constant local matrix of eq. (5.9).
 	local := sub.A.AddDiag(diagAdd)
-	if chol, err := dense.NewCholeskyCSR(local); err == nil {
-		s.solver = chol
-		s.spd = true
-	} else if errors.Is(err, dense.ErrNotPositiveDefinite) {
-		lu, luErr := dense.NewLUCSR(local)
-		if luErr != nil {
-			return nil, fmt.Errorf("core: local system of part %d is singular: %w", sub.Part, luErr)
-		}
-		s.solver = lu
-	} else {
+	solver, err := factor.New(backend, local)
+	if err != nil {
 		return nil, fmt.Errorf("core: factorising local system of part %d: %w", sub.Part, err)
 	}
+	s.solver = solver
+	s.spd = solver.Backend() != factor.DenseLU
 	return s, nil
 }
 
@@ -156,8 +146,15 @@ func (s *Subdomain) Ends() []LinkEnd { return s.ends }
 // Solves returns how many local solves have been performed.
 func (s *Subdomain) Solves() int { return s.solves }
 
-// IsSPD reports whether the local system was Cholesky-factorisable.
+// IsSPD reports whether the local system was factorised by a Cholesky
+// backend and is therefore certified SPD. Under an explicitly selected LU
+// backend it is false regardless of the matrix's actual definiteness (LU
+// never certifies it); under the default auto policy it keeps its historical
+// meaning of "Cholesky succeeded".
 func (s *Subdomain) IsSPD() bool { return s.spd }
+
+// SolverBackend returns the name of the factorisation backend in use.
+func (s *Subdomain) SolverBackend() string { return s.solver.Backend() }
 
 // X returns the latest local solution [u_ports; y_inner]. The returned slice
 // is the live buffer; callers that need a stable copy must Clone it.

@@ -16,6 +16,9 @@ type VTMOptions struct {
 	// Impedance selects the characteristic impedance of every DTLP.
 	// Default: dtl.DiagScaled{Alpha: 1}.
 	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend (a backend name
+	// registered in internal/factor); empty selects the package default.
+	LocalSolver string
 	// MaxIterations bounds the number of synchronous sweeps. Required.
 	MaxIterations int
 	// Tol stops the iteration once the largest twin disagreement and the
@@ -66,7 +69,7 @@ func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
 	if strategy == nil {
 		strategy = dtl.DiagScaled{Alpha: 1}
 	}
-	subs, zs, err := p.buildSubdomains(strategy)
+	subs, zs, err := p.buildSubdomains(strategy, opts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}

@@ -148,6 +148,17 @@ func Registry() map[string]Runner {
 			}
 			return r.Render(w)
 		},
+		"scale-sparse": func(w io.Writer, quick bool) error {
+			p := DefaultScaleSparseParams()
+			if quick {
+				p = QuickScaleSparseParams()
+			}
+			r, err := ScaleSparse(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
 	}
 }
 
@@ -157,5 +168,6 @@ func Names() []string {
 		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
+		"scale-sparse",
 	}
 }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/factor"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// ScaleSparseParams configures the E6 scale-sparse experiment: the same
+// Poisson-grid family at growing sizes, factorised whole by the sparse
+// Cholesky backend, with the dense backends' memory wall made explicit. The
+// experiment quantifies the claim behind the factor subsystem: after the
+// zero-allocation event core, subdomain factorisation is the scale wall, and
+// exploiting sparsity moves it by orders of magnitude.
+type ScaleSparseParams struct {
+	// Sides are the grid side lengths (each system has side² unknowns).
+	Sides []int
+	// DenseAttemptMax is the largest dimension at which the dense Cholesky
+	// backend is actually run for comparison (an O(n³) factorisation; above
+	// this it is reported as skipped or — beyond factor.MaxDenseBytes — as
+	// failing to allocate).
+	DenseAttemptMax int
+	// Solves is the number of factor-once/solve-many solves timed per factor.
+	Solves int
+	// DTMSide, when positive, also runs a full DTM solve of the DTMSide² grid
+	// partitioned DTMParts×DTMParts with sparse local factorisations — the
+	// end-to-end pipeline at a size whose subdomains dwarf the old default.
+	DTMSide, DTMParts int
+	// DTMMaxTime and DTMTol bound the DTM leg.
+	DTMMaxTime, DTMTol float64
+}
+
+// DefaultScaleSparseParams runs up to a 65536-unknown grid — a system whose
+// dense factorisation would need ~100 GiB.
+func DefaultScaleSparseParams() ScaleSparseParams {
+	return ScaleSparseParams{
+		Sides:           []int{32, 64, 128, 256},
+		DenseAttemptMax: 1200,
+		Solves:          10,
+		DTMSide:         128,
+		DTMParts:        2,
+		DTMMaxTime:      4000,
+		DTMTol:          1e-8,
+	}
+}
+
+// QuickScaleSparseParams is the reduced configuration for tests, CI smoke and
+// -quick benchmarks. The largest size (128² = 16384 unknowns) is already past
+// factor.MaxDenseBytes, so the dense-fails/sparse-completes contrast is
+// exercised even at quick scale.
+func QuickScaleSparseParams() ScaleSparseParams {
+	return ScaleSparseParams{
+		Sides:           []int{32, 64, 128},
+		DenseAttemptMax: 1200,
+		Solves:          5,
+		DTMSide:         64,
+		DTMParts:        2,
+		DTMMaxTime:      2000,
+		DTMTol:          1e-6,
+	}
+}
+
+// ScaleSparseRow is the measurement at one grid size.
+type ScaleSparseRow struct {
+	Side, N, NNZ   int
+	NNZL           int
+	FillRatio      float64 // nnz(L) / nnz(tril(A))
+	FactorMS       float64
+	SolveMS        float64 // per solve, averaged over Solves
+	Residual       float64
+	DenseBytes     int64 // what the dense backend would have to allocate
+	DenseStatus    string
+	DenseFactorMS  float64 // only when the dense backend was actually run
+	DenseSpeedupVs float64 // dense factor time / sparse factor time
+}
+
+// ScaleSparseDTM is the end-to-end DTM leg of E6.
+type ScaleSparseDTM struct {
+	N, Parts  int
+	Backend   string
+	Solves    int
+	Messages  int
+	FinalTime float64
+	Residual  float64
+	Converged bool
+}
+
+// ScaleSparseResult is the E6 reproduction artifact.
+type ScaleSparseResult struct {
+	Rows []ScaleSparseRow
+	DTM  *ScaleSparseDTM
+}
+
+// ScaleSparse runs E6.
+func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
+	out := &ScaleSparseResult{}
+	for _, side := range p.Sides {
+		sys := sparse.Poisson2D(side, side, 0.05)
+		n := sys.Dim()
+		row := ScaleSparseRow{Side: side, N: n, NNZ: sys.A.NNZ(), DenseBytes: factor.DenseBytesNeeded(n)}
+
+		start := time.Now()
+		sol, err := factor.New(factor.SparseCholesky, sys.A)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sparse factorisation of n=%d: %w", n, err)
+		}
+		row.FactorMS = float64(time.Since(start).Microseconds()) / 1000
+		chol := sol.(*factor.Cholesky)
+		row.NNZL = chol.NNZL()
+		row.FillRatio = float64(row.NNZL) / float64((sys.A.NNZ()+n)/2)
+
+		x := sparse.NewVec(n)
+		start = time.Now()
+		for s := 0; s < p.Solves; s++ {
+			sol.SolveTo(x, sys.B)
+		}
+		row.SolveMS = float64(time.Since(start).Microseconds()) / 1000 / float64(p.Solves)
+		row.Residual = sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2()
+
+		switch {
+		case n <= p.DenseAttemptMax:
+			start = time.Now()
+			dsol, derr := factor.New(factor.DenseCholesky, sys.A)
+			if derr != nil {
+				return nil, fmt.Errorf("experiments: dense factorisation of n=%d: %w", n, derr)
+			}
+			row.DenseFactorMS = float64(time.Since(start).Microseconds()) / 1000
+			if row.FactorMS > 0 {
+				row.DenseSpeedupVs = row.DenseFactorMS / row.FactorMS
+			}
+			dsol.SolveTo(x, sys.B)
+			row.DenseStatus = "ok"
+		case factor.DenseFeasible(n) != nil:
+			// The wall E6 exists to demonstrate: the dense backend refuses the
+			// allocation outright; only the sparse backend reaches this size.
+			err := factor.DenseFeasible(n)
+			if !errors.Is(err, factor.ErrDenseTooLarge) {
+				return nil, fmt.Errorf("experiments: unexpected dense feasibility error: %w", err)
+			}
+			row.DenseStatus = fmt.Sprintf("FAILS TO ALLOCATE (%.1f GiB > cap)", float64(row.DenseBytes)/(1<<30))
+		default:
+			row.DenseStatus = "skipped (O(n³) factor too slow at this size)"
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	if p.DTMSide > 0 {
+		sys := sparse.Poisson2D(p.DTMSide, p.DTMSide, 0.05)
+		parts := p.DTMParts * p.DTMParts
+		topo := topology.Uniform(parts, 10, fmt.Sprintf("uniform %d-processor machine", parts))
+		prob, err := core.GridProblem(sys, p.DTMSide, p.DTMSide, p.DTMParts, p.DTMParts, topo)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.SolveDTM(prob, core.Options{
+			MaxTime:     p.DTMMaxTime,
+			Tol:         p.DTMTol,
+			LocalSolver: factor.SparseCholesky,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.DTM = &ScaleSparseDTM{
+			N:         sys.Dim(),
+			Parts:     parts,
+			Backend:   factor.SparseCholesky,
+			Solves:    res.Solves,
+			Messages:  res.Messages,
+			FinalTime: res.FinalTime,
+			Residual:  res.Residual,
+			Converged: res.Converged,
+		}
+	}
+	return out, nil
+}
+
+// Render implements Renderer.
+func (r *ScaleSparseResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "E6 — scale-sparse: whole-system sparse Cholesky (RCM ordering) vs the dense memory wall")
+	fmt.Fprintf(w, "%8s %8s %9s %9s %7s %10s %10s %9s  %s\n",
+		"n", "nnz(A)", "nnz(L)", "fill", "factor", "solve", "residual", "dense-need", "dense backend")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %8d %9d %8.2fx %5.1fms %8.3fms %10.2e %8.1fMB  %s",
+			row.N, row.NNZ, row.NNZL, row.FillRatio, row.FactorMS, row.SolveMS, row.Residual,
+			float64(row.DenseBytes)/(1<<20), row.DenseStatus)
+		if row.DenseStatus == "ok" {
+			fmt.Fprintf(w, " (%.1fms, %.1fx the sparse factor)", row.DenseFactorMS, row.DenseSpeedupVs)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.DTM != nil {
+		fmt.Fprintf(w, "\nDTM end-to-end with %s local solvers: n=%d on %d processors: converged=%v at t=%.0f, %d local solves, %d messages, relative residual %.3g\n",
+			r.DTM.Backend, r.DTM.N, r.DTM.Parts, r.DTM.Converged, r.DTM.FinalTime, r.DTM.Solves, r.DTM.Messages, r.DTM.Residual)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package factor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestBackendsRegistered(t *testing.T) {
+	for _, name := range []string{Auto, DenseCholesky, DenseLU, SparseCholesky} {
+		if !Known(name) {
+			t.Errorf("backend %q is not registered", name)
+		}
+	}
+	if Known("no-such-backend") {
+		t.Error("Known accepted an unregistered backend")
+	}
+	if _, err := New("no-such-backend", sparse.Identity(3)); err == nil {
+		t.Error("New accepted an unregistered backend")
+	}
+	if got := Default(); got != Auto {
+		t.Errorf("Default() = %q, want %q", got, Auto)
+	}
+	if err := SetDefault("no-such-backend"); err == nil {
+		t.Error("SetDefault accepted an unregistered backend")
+	}
+}
+
+// TestAutoFallsBackToLUOnNonSPD is the regression test for the deduplicated
+// Cholesky → ErrNotPositiveDefinite → LU fallback: a symmetric indefinite
+// (but nonsingular) local block must still be factorised and solved.
+func TestAutoFallsBackToLUOnNonSPD(t *testing.T) {
+	// Symmetric, nonsingular, indefinite (eigenvalues 3 and -1).
+	a := sparse.NewCSRFromDense([][]float64{
+		{1, 2},
+		{2, 1},
+	}, 0)
+	s, err := New(Auto, a)
+	if err != nil {
+		t.Fatalf("Auto on an indefinite block: %v", err)
+	}
+	if s.Backend() != DenseLU {
+		t.Errorf("Auto picked %q for an indefinite block, want %q", s.Backend(), DenseLU)
+	}
+	b := sparse.Vec{5, 4}
+	x := Solve(s, b)
+	// Exact solution of [[1,2],[2,1]] x = [5,4] is x = [1, 2].
+	if x.MaxAbsDiff(sparse.Vec{1, 2}) > 1e-12 {
+		t.Errorf("LU fallback solve got %v, want [1 2]", x)
+	}
+}
+
+func TestAutoPicksDenseForSmallSparseForLarge(t *testing.T) {
+	small := sparse.Poisson2D(5, 5, 0.05)
+	s, err := New(Auto, small.A)
+	if err != nil {
+		t.Fatalf("Auto(small): %v", err)
+	}
+	if s.Backend() != DenseCholesky {
+		t.Errorf("Auto picked %q for n=25, want %q", s.Backend(), DenseCholesky)
+	}
+	large := sparse.Poisson2D(20, 20, 0.05) // n=400 >= autoSparseMinDim, density ~1%
+	s, err = New(Auto, large.A)
+	if err != nil {
+		t.Fatalf("Auto(large): %v", err)
+	}
+	if s.Backend() != SparseCholesky {
+		t.Errorf("Auto picked %q for n=400 sparse, want %q", s.Backend(), SparseCholesky)
+	}
+	for _, sys := range []sparse.System{small, large} {
+		sol, err := New(Auto, sys.A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := sparse.NewVec(sys.Dim())
+		sol.SolveTo(x, sys.B)
+		if r := sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2(); r > 1e-10 {
+			t.Errorf("auto solve of %s has relative residual %g", sys.Name, r)
+		}
+	}
+}
+
+// TestDenseGuard pins the clean failure the E6 experiment demonstrates: a
+// dense backend refuses (without allocating) a matrix beyond MaxDenseBytes,
+// while the auto policy routes the same matrix to the sparse backend.
+func TestDenseGuard(t *testing.T) {
+	// A sparse identity far beyond the dense cap is cheap to build.
+	n := 20000
+	if DenseFeasible(n) == nil {
+		t.Skipf("MaxDenseBytes %d admits n=%d; guard not exercised", MaxDenseBytes, n)
+	}
+	a := sparse.Identity(n)
+	for _, backend := range []string{DenseCholesky, DenseLU} {
+		_, err := New(backend, a)
+		if !errors.Is(err, ErrDenseTooLarge) {
+			t.Errorf("%s on n=%d: err = %v, want ErrDenseTooLarge", backend, n, err)
+		}
+	}
+	s, err := New(Auto, a)
+	if err != nil {
+		t.Fatalf("Auto on huge sparse identity: %v", err)
+	}
+	if s.Backend() != SparseCholesky {
+		t.Errorf("Auto picked %q beyond the dense cap, want %q", s.Backend(), SparseCholesky)
+	}
+	b := sparse.NewVec(n)
+	b.Fill(3)
+	x := Solve(s, b)
+	if x.MaxAbsDiff(b) > 1e-14 {
+		t.Error("identity solve is not the right-hand side")
+	}
+}
+
+func TestSolverDims(t *testing.T) {
+	sys := sparse.Poisson2D(7, 6, 0.05)
+	for _, backend := range []string{DenseCholesky, DenseLU, SparseCholesky, Auto} {
+		s, err := New(backend, sys.A)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if s.Dim() != sys.Dim() {
+			t.Errorf("%s: Dim() = %d, want %d", backend, s.Dim(), sys.Dim())
+		}
+	}
+}

@@ -31,6 +31,9 @@ type AsyncOptions struct {
 	RecordTrace bool
 	// ProcMap maps blocks to processors (identity when nil).
 	ProcMap []int
+	// LocalSolver selects the internal/factor backend the diagonal blocks are
+	// factorised with; empty selects the package default.
+	LocalSolver string
 }
 
 // AsyncTracePoint is one monitor sample of an asynchronous block-Jacobi run.
@@ -146,7 +149,7 @@ func AsyncBlockJacobi(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, 
 	if opts.Exact != nil && len(opts.Exact) != n {
 		return nil, fmt.Errorf("iterative: Exact has length %d, want %d", len(opts.Exact), n)
 	}
-	blocks, err := buildBlocks(a, b, assign)
+	blocks, err := buildBlocks(a, b, assign, opts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}

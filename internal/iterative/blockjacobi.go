@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/dense"
+	"repro/internal/factor"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 )
@@ -16,10 +16,8 @@ type blockData struct {
 	part   int
 	own    []int       // global indices owned by this block, ascending
 	ownPos map[int]int // global -> position in own
-	solver interface {
-		SolveTo(x, b sparse.Vec)
-	}
-	b sparse.Vec // local right-hand side
+	solver factor.LocalSolver
+	b      sparse.Vec // local right-hand side
 	// ext[i] lists the off-block couplings of owned row i.
 	ext [][]extCoupling
 	// sendTo[q] lists the owned globals that part q needs from us.
@@ -34,7 +32,10 @@ type extCoupling struct {
 }
 
 // buildBlocks prepares the block-Jacobi data for every part of an assignment.
-func buildBlocks(a *sparse.CSR, b sparse.Vec, assign partition.Assignment) ([]*blockData, error) {
+// backend names the internal/factor backend that factorises every diagonal
+// block (empty for the package default, whose auto policy keeps the classic
+// Cholesky → LU fallback for non-SPD blocks).
+func buildBlocks(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, backend string) ([]*blockData, error) {
 	n := a.Rows()
 	if len(assign.Assign) != n {
 		return nil, fmt.Errorf("iterative: assignment covers %d vertices, matrix has %d", len(assign.Assign), n)
@@ -79,15 +80,11 @@ func buildBlocks(a *sparse.CSR, b sparse.Vec, assign partition.Assignment) ([]*b
 			})
 		}
 		local := coo.ToCSR()
-		if chol, err := dense.NewCholeskyCSR(local); err == nil {
-			blk.solver = chol
-		} else {
-			lu, luErr := dense.NewLUCSR(local)
-			if luErr != nil {
-				return nil, fmt.Errorf("iterative: diagonal block of part %d is singular: %w", p, luErr)
-			}
-			blk.solver = lu
+		solver, err := factor.New(backend, local)
+		if err != nil {
+			return nil, fmt.Errorf("iterative: factorising diagonal block of part %d: %w", p, err)
 		}
+		blk.solver = solver
 		for q := range adjacent {
 			blk.adjacent = append(blk.adjacent, q)
 		}
@@ -131,7 +128,7 @@ func BlockJacobi(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, cfg C
 	if err := cfg.validate(n); err != nil {
 		return nil, Stats{}, err
 	}
-	blocks, err := buildBlocks(a, b, assign)
+	blocks, err := buildBlocks(a, b, assign, cfg.LocalSolver)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -36,6 +36,10 @@ type Config struct {
 	Tol float64
 	// Exact, when non-nil, records an RMS-error trace.
 	Exact sparse.Vec
+	// LocalSolver selects the internal/factor backend the block methods
+	// factorise their diagonal blocks with; empty selects the package
+	// default. The point methods (Jacobi, Gauss-Seidel, SOR, CG) ignore it.
+	LocalSolver string
 }
 
 func (c Config) validate(n int) error {

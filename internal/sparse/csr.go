@@ -69,6 +69,14 @@ func (m *CSR) At(i, j int) float64 {
 	return 0
 }
 
+// RowView returns the column indices and values of row i (in column order) as
+// slices sharing the matrix's backing arrays. Callers must not mutate them.
+// It is the allocation-free access path the sparse factorisations iterate on.
+func (m *CSR) RowView(i int) ([]int, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
 // Row calls fn(col, val) for each stored entry of row i in column order.
 func (m *CSR) Row(i int, fn func(col int, val float64)) {
 	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {

@@ -253,7 +253,7 @@ func TestTheoremChecksHoldForRandomSPDSplitsProperty(t *testing.T) {
 		}
 		return rep.Converges
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }
@@ -277,7 +277,7 @@ func TestLambdaGapStableUnderImpedanceScalingProperty(t *testing.T) {
 		}
 		return rep.Holds
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(2))}); err != nil {
 		t.Error(err)
 	}
 }

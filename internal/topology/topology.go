@@ -100,6 +100,11 @@ func (t *Topology) Delay(a, b int) float64 {
 	return d
 }
 
+// Route precomputes the all-pairs routing table. Delay routes lazily on
+// first use, which is unsafe when goroutines share the topology — engines
+// that call Delay concurrently (the live engine) must Route up front.
+func (t *Topology) Route() { t.ensureRouted() }
+
 func (t *Topology) ensureRouted() {
 	if t.routed != nil {
 		return
