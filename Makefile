@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-smoke clean
+.PHONY: all build vet test bench bench-gate bench-smoke cover clean
 
 all: vet build test
 
@@ -24,9 +24,22 @@ bench:
 		-benchmem -benchtime=2x -run '^$$' .
 	$(GO) run ./cmd/dtmbench -benchjson BENCH_dtm.json -quick
 
+# The benchmark-regression gate CI runs: measure into BENCH_current.json and
+# diff against the committed BENCH_dtm.json baseline (fails on >25% ns/op or
+# >10% allocs/op regressions). Re-baseline intentional changes with `make
+# bench` and commit the rewritten BENCH_dtm.json.
+bench-gate:
+	$(GO) run ./cmd/dtmbench -benchjson BENCH_current.json -quick
+	$(GO) run ./cmd/benchdiff -baseline BENCH_dtm.json -current BENCH_current.json
+
 # One-iteration smoke run for CI: every benchmark must at least complete.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
+# Coverage ratchet (same gate CI runs): total statement coverage must stay at
+# or above the floor committed in COVERAGE_FLOOR.
+cover:
+	./scripts/coverage_gate.sh
+
 clean:
-	rm -f repro.test *.test *.out *.pprof BENCH_*.json
+	rm -f repro.test *.test *.out *.pprof BENCH_current.json

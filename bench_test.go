@@ -83,7 +83,9 @@ func BenchmarkAblationMixed(b *testing.B) { benchmarkExperiment(b, "ablation-mix
 
 // BenchmarkE6ScaleSparse regenerates the scale-sparse experiment (E6): the
 // whole-system sparse Cholesky at grid sizes where the dense backends fail to
-// allocate, plus a DTM run with sparse local factorisations.
+// allocate, the non-SPD leg (a quasi-definite saddle system past the dense
+// cap, factorised through the auto policy's sparse-LDLT fallback), plus a DTM
+// run with sparse local factorisations.
 func BenchmarkE6ScaleSparse(b *testing.B) { benchmarkExperiment(b, "scale-sparse") }
 
 // TestAllExperimentsQuick runs every registered experiment at its reduced size

@@ -1,0 +1,179 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a fresh
+// `dtmbench -benchjson` measurement against the committed baseline
+// (BENCH_dtm.json) and fails — exit status 1 — when any experiment's wall time
+// or allocation count regresses past the thresholds. The comparison is also
+// rendered as a Markdown table so CI can publish it as a job summary.
+//
+// Usage:
+//
+//	dtmbench -benchjson BENCH_current.json -quick
+//	benchdiff -baseline BENCH_dtm.json -current BENCH_current.json \
+//	          -summary "$GITHUB_STEP_SUMMARY"
+//
+// To re-baseline after an intentional performance change, regenerate the
+// committed file on a quiet machine and commit it:
+//
+//	make bench   # rewrites BENCH_dtm.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchjson"
+)
+
+// thresholds are fractional regressions: 0.25 means a 25% slowdown fails.
+type thresholds struct {
+	maxNsRegress     float64
+	maxAllocsRegress float64
+}
+
+// row is one experiment's comparison.
+type row struct {
+	Experiment           string
+	BaseNs, CurNs        float64
+	BaseAllocs, CurAlloc float64
+	NsDelta, AllocsDelta float64 // fractional change vs baseline
+	Verdict              string  // "ok", "FAIL time", "FAIL allocs", "missing"
+	Failed               bool
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_dtm.json", "committed baseline JSON")
+		currentPath  = flag.String("current", "", "freshly measured JSON (required)")
+		summaryPath  = flag.String("summary", "", "file to append the Markdown report to (e.g. $GITHUB_STEP_SUMMARY)")
+		maxNs        = flag.Float64("max-ns-regress", 0.25, "fail when ns_per_op regresses by more than this fraction")
+		maxAllocs    = flag.Float64("max-allocs-regress", 0.10, "fail when allocs_per_op regresses by more than this fraction")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := benchjson.Read(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := benchjson.Read(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, failed := diff(baseline, current, thresholds{*maxNs, *maxAllocs})
+	report := renderMarkdown(rows, thresholds{*maxNs, *maxAllocs}, failed)
+	fmt.Print(report)
+	if *summaryPath != "" {
+		f, err := os.OpenFile(*summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: opening summary file: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := f.WriteString(report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: writing summary: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// diff compares every baseline experiment against the current measurement.
+// A baseline experiment missing from the current run fails the gate (the
+// perf frontier must not silently shrink); experiments new in the current run
+// are reported but cannot regress against nothing.
+func diff(baseline, current benchjson.File, th thresholds) ([]row, bool) {
+	cur := make(map[string]benchjson.Record, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Experiment] = r
+	}
+	var rows []row
+	anyFailed := false
+	for _, base := range baseline.Results {
+		r := row{Experiment: base.Experiment, BaseNs: base.NsPerOp, BaseAllocs: base.AllocsOp}
+		c, ok := cur[base.Experiment]
+		if !ok {
+			r.Verdict, r.Failed = "missing from current run", true
+		} else {
+			r.CurNs, r.CurAlloc = c.NsPerOp, c.AllocsOp
+			r.NsDelta = frac(base.NsPerOp, c.NsPerOp)
+			r.AllocsDelta = frac(base.AllocsOp, c.AllocsOp)
+			switch {
+			case r.NsDelta > th.maxNsRegress:
+				r.Verdict, r.Failed = fmt.Sprintf("FAIL time +%.0f%% (limit +%.0f%%)", 100*r.NsDelta, 100*th.maxNsRegress), true
+			case r.AllocsDelta > th.maxAllocsRegress:
+				r.Verdict, r.Failed = fmt.Sprintf("FAIL allocs +%.0f%% (limit +%.0f%%)", 100*r.AllocsDelta, 100*th.maxAllocsRegress), true
+			default:
+				r.Verdict = "ok"
+			}
+		}
+		anyFailed = anyFailed || r.Failed
+		rows = append(rows, r)
+		delete(cur, base.Experiment)
+	}
+	for _, c := range current.Results {
+		if _, stillNew := cur[c.Experiment]; stillNew {
+			rows = append(rows, row{
+				Experiment: c.Experiment, CurNs: c.NsPerOp, CurAlloc: c.AllocsOp,
+				Verdict: "new (no baseline)",
+			})
+		}
+	}
+	return rows, anyFailed
+}
+
+// frac returns the fractional change from base to cur ((cur-base)/base),
+// treating a zero baseline as unchanged unless the current value is nonzero.
+func frac(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - base) / base
+}
+
+func renderMarkdown(rows []row, th thresholds, failed bool) string {
+	var b strings.Builder
+	b.WriteString("## Benchmark regression gate\n\n")
+	b.WriteString("| experiment | base ns/op | cur ns/op | Δ time | base allocs | cur allocs | Δ allocs | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %+.1f%% | %s | %s | %+.1f%% | %s |\n",
+			r.Experiment, human(r.BaseNs), human(r.CurNs), 100*r.NsDelta,
+			human(r.BaseAllocs), human(r.CurAlloc), 100*r.AllocsDelta, r.Verdict)
+	}
+	if failed {
+		fmt.Fprintf(&b, "\n**FAIL** — at least one experiment regressed past the limits (time +%.0f%%, allocs +%.0f%%). "+
+			"If the regression is intentional, re-baseline with `make bench` and commit BENCH_dtm.json.\n",
+			100*th.maxNsRegress, 100*th.maxAllocsRegress)
+	} else {
+		fmt.Fprintf(&b, "\nPASS — no experiment regressed past the limits (time +%.0f%%, allocs +%.0f%%).\n",
+			100*th.maxNsRegress, 100*th.maxAllocsRegress)
+	}
+	return b.String()
+}
+
+// human renders a count with engineering suffixes so the table stays legible.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchjson"
+)
+
+func bench(name string, ns, allocs float64) benchjson.Record {
+	return benchjson.Record{Experiment: name, NsPerOp: ns, AllocsOp: allocs}
+}
+
+func defaultThresholds() thresholds { return thresholds{maxNsRegress: 0.25, maxAllocsRegress: 0.10} }
+
+func TestDiffPassesWithinNoise(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("fig14", 300e6, 90000)}}
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 110e6, 21000), bench("fig14", 290e6, 90000)}}
+	rows, failed := diff(baseline, current, defaultThresholds())
+	if failed {
+		t.Fatalf("within-noise run failed: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Verdict != "ok" {
+			t.Errorf("%s verdict %q, want ok", r.Experiment, r.Verdict)
+		}
+	}
+}
+
+func TestDiffFailsOnTimeRegression(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	// A synthetic 2× slowdown — the demonstration the gate exists for.
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 200e6, 20000)}}
+	rows, failed := diff(baseline, current, defaultThresholds())
+	if !failed {
+		t.Fatal("2x time regression passed the gate")
+	}
+	if !rows[0].Failed || !strings.Contains(rows[0].Verdict, "FAIL time") {
+		t.Errorf("verdict %q, want a time failure", rows[0].Verdict)
+	}
+	if rows[0].NsDelta != 1.0 {
+		t.Errorf("NsDelta = %g, want 1.0 (a 100%% regression)", rows[0].NsDelta)
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 23000)}} // +15% allocs
+	_, failed := diff(baseline, current, defaultThresholds())
+	if !failed {
+		t.Fatal("+15% alloc regression passed the gate (limit is +10%)")
+	}
+}
+
+func TestDiffBoundaries(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("a", 100, 100)}}
+	// Exactly at the limits must pass (the gate fails strictly past them).
+	current := benchjson.File{Results: []benchjson.Record{bench("a", 125, 110)}}
+	if _, failed := diff(baseline, current, defaultThresholds()); failed {
+		t.Error("exactly-at-threshold run failed")
+	}
+	current = benchjson.File{Results: []benchjson.Record{bench("a", 125.1, 110)}}
+	if _, failed := diff(baseline, current, defaultThresholds()); !failed {
+		t.Error("past-threshold time run passed")
+	}
+}
+
+func TestDiffFailsOnMissingExperiment(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("scale-sparse", 400e6, 40000)}}
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	rows, failed := diff(baseline, current, defaultThresholds())
+	if !failed {
+		t.Fatal("a baseline experiment vanished and the gate passed")
+	}
+	found := false
+	for _, r := range rows {
+		if r.Experiment == "scale-sparse" && r.Failed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing experiment not reported: %+v", rows)
+	}
+}
+
+func TestDiffReportsNewExperiments(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("brand-new", 1e6, 10)}}
+	rows, failed := diff(baseline, current, defaultThresholds())
+	if failed {
+		t.Fatal("a new experiment must not fail the gate")
+	}
+	if len(rows) != 2 || rows[1].Experiment != "brand-new" || rows[1].Verdict != "new (no baseline)" {
+		t.Errorf("new experiment not reported: %+v", rows)
+	}
+}
+
+func TestFracZeroBaseline(t *testing.T) {
+	if f := frac(0, 0); f != 0 {
+		t.Errorf("frac(0,0) = %g, want 0", f)
+	}
+	if f := frac(0, 5); f != 1 {
+		t.Errorf("frac(0,5) = %g, want 1 (treated as a full regression)", f)
+	}
+}
+
+func TestRenderMarkdownShape(t *testing.T) {
+	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 250e6, 20000)}}
+	rows, failed := diff(baseline, current, defaultThresholds())
+	md := renderMarkdown(rows, defaultThresholds(), failed)
+	for _, want := range []string{"## Benchmark regression gate", "| fig12 |", "FAIL", "re-baseline"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report lacks %q:\n%s", want, md)
+		}
+	}
+}

@@ -12,7 +12,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/experiments"
 	"repro/internal/factor"
 )
@@ -92,30 +92,13 @@ func runOne(registry map[string]experiments.Runner, name string, quick bool) err
 	return nil
 }
 
-// benchRecord is one machine-readable measurement: the wall-clock time and
-// heap allocation profile of a full experiment reproduction, mirroring the
-// ns/op and allocs/op of the corresponding go-test benchmark so the perf
-// trajectory can be tracked from CI artifacts PR over PR.
-type benchRecord struct {
-	Experiment string  `json:"experiment"`
-	Quick      bool    `json:"quick"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op"`
-	AllocsOp   float64 `json:"allocs_per_op"`
-}
-
-type benchFile struct {
-	Generated string        `json:"generated_by"`
-	GoVersion string        `json:"go_version"`
-	Results   []benchRecord `json:"results"`
-}
-
 // benchExperiments are the hot-path figures whose cost is tracked over time.
 var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse"}
 
+// writeBenchJSON measures each hot-path experiment and writes the shared
+// benchjson schema the cmd/benchdiff regression gate consumes.
 func writeBenchJSON(registry map[string]experiments.Runner, path string, quick bool) error {
-	out := benchFile{Generated: "dtmbench -benchjson", GoVersion: runtime.Version()}
+	out := benchjson.File{Generated: "dtmbench -benchjson", GoVersion: runtime.Version()}
 	for _, name := range benchExperiments {
 		runner, ok := registry[name]
 		if !ok {
@@ -133,7 +116,7 @@ func writeBenchJSON(registry map[string]experiments.Runner, path string, quick b
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
-		out.Results = append(out.Results, benchRecord{
+		out.Results = append(out.Results, benchjson.Record{
 			Experiment: name,
 			Quick:      quick,
 			Iterations: iters,
@@ -146,12 +129,7 @@ func writeBenchJSON(registry map[string]experiments.Runner, path string, quick b
 			out.Results[len(out.Results)-1].BytesPerOp,
 			out.Results[len(out.Results)-1].AllocsOp)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := out.Write(path); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -10,6 +10,7 @@
 //
 //	dtmsolve -gen poisson2d -nx 33 -ny 33 -method dtm -parts 16 -topo mesh4x4
 //	dtmsolve -gen random -n 500 -method cg
+//	dtmsolve -gen saddle -nx 128 -ny 128 -method direct
 //	dtmsolve -matrix A.mtx -rhs b.vec -method vtm -parts 4
 package main
 
@@ -49,14 +50,14 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.gen, "gen", "", "generator: poisson2d, poisson3d, random, random-grid, resistor, tridiag")
+	flag.StringVar(&o.gen, "gen", "", "generator: poisson2d, poisson3d, random, random-grid, resistor, tridiag, saddle")
 	flag.IntVar(&o.nx, "nx", 33, "grid width for grid generators")
 	flag.IntVar(&o.ny, "ny", 33, "grid height for grid generators")
 	flag.IntVar(&o.n, "n", 500, "dimension for non-grid generators")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed for the generators")
 	flag.StringVar(&o.matrix, "matrix", "", "matrix file (MatrixMarket .mtx)")
 	flag.StringVar(&o.rhs, "rhs", "", "right-hand-side file (MatrixMarket array or coordinate)")
-	flag.StringVar(&o.method, "method", "dtm", "solver: dtm, vtm, mixed, live, cg, pcg, jacobi, gauss-seidel, sor, block-jacobi, async-jacobi")
+	flag.StringVar(&o.method, "method", "dtm", "solver: dtm, vtm, mixed, live, direct, cg, pcg, jacobi, gauss-seidel, sor, block-jacobi, async-jacobi")
 	flag.IntVar(&o.parts, "parts", 4, "number of subdomains / blocks for the distributed solvers")
 	flag.StringVar(&o.topo, "topo", "uniform", "machine: uniform, mesh4x4, mesh8x8, ring, torus")
 	flag.StringVar(&o.partitioner, "partitioner", "levelset", "graph partitioner for the distributed solvers: levelset, bisection, strips")
@@ -147,6 +148,10 @@ func loadSystem(o options) (sparse.System, error) {
 		return sparse.ResistorNetwork(o.nx, o.ny, o.seed), nil
 	case "tridiag":
 		return sparse.Tridiagonal(o.n, 2.1, -1), nil
+	case "saddle":
+		// Symmetric quasi-definite (indefinite) — the non-SPD workload the
+		// sparse LDLT backend exists for; solve it with -method direct.
+		return sparse.SaddlePoisson2D(o.nx, o.ny, 1e-2), nil
 	case "":
 		return sparse.System{}, fmt.Errorf("either -gen or -matrix is required")
 	default:
@@ -269,6 +274,30 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		}
 		return res.X, fmt.Sprintf("converged=%v after %.2f s of real asynchronous execution, %d local solves, %d messages",
 			res.Converged, res.FinalTime, res.Solves, res.Messages), nil
+	case "direct":
+		// One factor-once/solve-many factorisation of the whole system through
+		// the local-solver registry — the way to exercise a backend (or the
+		// auto policy's fallback chain) on a workload end to end. The symmetric
+		// backends read only the lower triangle, so an unsymmetric matrix (a
+		// general MatrixMarket file, say) would be silently mis-factorised by
+		// everything except dense-lu — refuse it up front.
+		if o.localSolver != factor.DenseLU && !sys.A.IsSymmetric(1e-12) {
+			return nil, "", fmt.Errorf("method direct needs a symmetric matrix for backend %q (only dense-lu handles unsymmetric input)", o.localSolver)
+		}
+		s, err := factor.New(o.localSolver, sys.A)
+		if err != nil {
+			return nil, "", err
+		}
+		x := factor.Solve(s, sys.B)
+		summary := fmt.Sprintf("backend=%s", s.Backend())
+		switch f := s.(type) {
+		case *factor.Cholesky:
+			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d)", f.Ordering(), f.NNZL())
+		case *factor.LDLT:
+			pos, neg := f.Inertia()
+			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d, inertia %d+/%d-)", f.Ordering(), f.NNZL(), pos, neg)
+		}
+		return x, summary, nil
 	case "cg":
 		x, st, err := iterative.CG(sys.A, sys.B, iterative.Config{MaxIterations: o.maxIter, Tol: o.tol})
 		return x, iterSummary(st), err

@@ -8,9 +8,11 @@
 //     substrate (CSR matrices, MatrixMarket I/O, Cholesky/LU/eigen,
 //     definiteness certification);
 //   - internal/factor — the pluggable local-factorisation subsystem: one
-//     LocalSolver interface over dense Cholesky/LU and a sparse Cholesky with
-//     reverse Cuthill-McKee ordering, plus the auto policy with the
-//     Cholesky-to-LU fallback every subdomain and block solver uses;
+//     LocalSolver interface over the registered backends dense-cholesky,
+//     dense-lu, sparse-cholesky and sparse-ldlt (up-looking factorisations
+//     with per-block RCM/AMD fill-reducing orderings), plus the auto policy
+//     every subdomain and block solver uses, whose non-SPD fallback chain is
+//     sparse-Cholesky → sparse-LDLᵀ → dense LU;
 //   - internal/graph, internal/partition — the electric graph of a symmetric
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission

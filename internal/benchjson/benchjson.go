@@ -1,0 +1,54 @@
+// Package benchjson is the shared schema of the machine-readable benchmark
+// record written by cmd/dtmbench (-benchjson) and consumed by cmd/benchdiff
+// (the CI regression gate). Keeping the structs in one place means a field or
+// JSON-tag change cannot silently desynchronise the writer from the gate.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Record is one machine-readable measurement: the wall-clock time and heap
+// allocation profile of a full experiment reproduction, mirroring the ns/op
+// and allocs/op of the corresponding go-test benchmark so the perf trajectory
+// can be tracked from CI artifacts PR over PR.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Quick      bool    `json:"quick"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// File is the top-level JSON document.
+type File struct {
+	Generated string   `json:"generated_by"`
+	GoVersion string   `json:"go_version"`
+	Results   []Record `json:"results"`
+}
+
+// Read parses a benchmark file from disk.
+func Read(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Write marshals the file with stable indentation and a trailing newline.
+func (f File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -18,9 +18,9 @@ type Options struct {
 
 	// LocalSolver selects the local-factorisation backend every subdomain
 	// factorises its constant system with (a backend name registered in
-	// internal/factor: "dense-cholesky", "dense-lu", "sparse-cholesky" or
-	// "auto"). Empty selects the factor package default ("auto"). Results are
-	// byte-identical run over run for a fixed backend.
+	// internal/factor: "dense-cholesky", "dense-lu", "sparse-cholesky",
+	// "sparse-ldlt" or "auto"). Empty selects the factor package default
+	// ("auto"). Results are byte-identical run over run for a fixed backend.
 	LocalSolver string
 
 	// MaxTime is the virtual time horizon of the run (same unit as the

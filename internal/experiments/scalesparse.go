@@ -34,6 +34,15 @@ type ScaleSparseParams struct {
 	DTMSide, DTMParts int
 	// DTMMaxTime and DTMTol bound the DTM leg.
 	DTMMaxTime, DTMTol float64
+	// NonSPDSide, when positive, adds the non-SPD leg: the symmetric
+	// quasi-definite saddle system of a NonSPDSide² grid (plus one multiplier
+	// per grid row) handed to the auto policy. Before the sparse LDLᵀ backend
+	// existed this leg could not run at all above the dense cap — auto fell
+	// from the sparse Cholesky's ErrNotPositiveDefinite straight to dense LU
+	// and died at factor.ErrDenseTooLarge.
+	NonSPDSide int
+	// NonSPDSolves is the number of timed solves on the non-SPD leg.
+	NonSPDSolves int
 }
 
 // DefaultScaleSparseParams runs up to a 65536-unknown grid — a system whose
@@ -47,6 +56,8 @@ func DefaultScaleSparseParams() ScaleSparseParams {
 		DTMParts:        2,
 		DTMMaxTime:      4000,
 		DTMTol:          1e-8,
+		NonSPDSide:      256,
+		NonSPDSolves:    10,
 	}
 }
 
@@ -63,6 +74,8 @@ func QuickScaleSparseParams() ScaleSparseParams {
 		DTMParts:        2,
 		DTMMaxTime:      2000,
 		DTMTol:          1e-6,
+		NonSPDSide:      128,
+		NonSPDSolves:    5,
 	}
 }
 
@@ -91,10 +104,25 @@ type ScaleSparseDTM struct {
 	Converged bool
 }
 
+// ScaleSparseNonSPD is the non-SPD leg of E6: a symmetric quasi-definite
+// system past the dense memory cap, factorised through the auto policy's
+// sparse-Cholesky → sparse-LDLᵀ fallback chain.
+type ScaleSparseNonSPD struct {
+	N, NNZ, NNZL       int
+	Backend, Ordering  string
+	PosPivots          int
+	NegPivots          int
+	FactorMS, SolveMS  float64
+	Residual           float64
+	DenseBytes         int64
+	DenseWouldAllocate bool // whether the old dense-LU fallback could even run
+}
+
 // ScaleSparseResult is the E6 reproduction artifact.
 type ScaleSparseResult struct {
-	Rows []ScaleSparseRow
-	DTM  *ScaleSparseDTM
+	Rows   []ScaleSparseRow
+	NonSPD *ScaleSparseNonSPD
+	DTM    *ScaleSparseDTM
 }
 
 // ScaleSparse runs E6.
@@ -150,6 +178,37 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		out.Rows = append(out.Rows, row)
 	}
 
+	if p.NonSPDSide > 0 {
+		sys := sparse.SaddlePoisson2D(p.NonSPDSide, p.NonSPDSide, 1e-2)
+		n := sys.Dim()
+		leg := &ScaleSparseNonSPD{
+			N:                  n,
+			NNZ:                sys.A.NNZ(),
+			DenseBytes:         factor.DenseBytesNeeded(n),
+			DenseWouldAllocate: factor.DenseFeasible(n) == nil,
+		}
+		start := time.Now()
+		sol, err := factor.New(factor.Auto, sys.A)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: auto factorisation of the non-SPD n=%d system: %w", n, err)
+		}
+		leg.FactorMS = float64(time.Since(start).Microseconds()) / 1000
+		leg.Backend = sol.Backend()
+		if ldlt, ok := sol.(*factor.LDLT); ok {
+			leg.NNZL = ldlt.NNZL()
+			leg.Ordering = ldlt.Ordering().String()
+			leg.PosPivots, leg.NegPivots = ldlt.Inertia()
+		}
+		x := sparse.NewVec(n)
+		start = time.Now()
+		for s := 0; s < p.NonSPDSolves; s++ {
+			sol.SolveTo(x, sys.B)
+		}
+		leg.SolveMS = float64(time.Since(start).Microseconds()) / 1000 / float64(max(p.NonSPDSolves, 1))
+		leg.Residual = sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2()
+		out.NonSPD = leg
+	}
+
 	if p.DTMSide > 0 {
 		sys := sparse.Poisson2D(p.DTMSide, p.DTMSide, 0.05)
 		parts := p.DTMParts * p.DTMParts
@@ -182,7 +241,7 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 
 // Render implements Renderer.
 func (r *ScaleSparseResult) Render(w io.Writer) error {
-	fmt.Fprintln(w, "E6 — scale-sparse: whole-system sparse Cholesky (RCM ordering) vs the dense memory wall")
+	fmt.Fprintln(w, "E6 — scale-sparse: whole-system sparse factorisation vs the dense memory wall")
 	fmt.Fprintf(w, "%8s %8s %9s %9s %7s %10s %10s %9s  %s\n",
 		"n", "nnz(A)", "nnz(L)", "fill", "factor", "solve", "residual", "dense-need", "dense backend")
 	for _, row := range r.Rows {
@@ -193,6 +252,16 @@ func (r *ScaleSparseResult) Render(w io.Writer) error {
 			fmt.Fprintf(w, " (%.1fms, %.1fx the sparse factor)", row.DenseFactorMS, row.DenseSpeedupVs)
 		}
 		fmt.Fprintln(w)
+	}
+	if r.NonSPD != nil {
+		l := r.NonSPD
+		fmt.Fprintf(w, "\nnon-SPD leg (symmetric quasi-definite saddle system): n=%d, nnz=%d\n", l.N, l.NNZ)
+		fmt.Fprintf(w, "  auto picked %s (%s ordering): nnz(L)=%d, inertia (%d+, %d-), factor %.1fms, solve %.3fms, relative residual %.3g\n",
+			l.Backend, l.Ordering, l.NNZL, l.PosPivots, l.NegPivots, l.FactorMS, l.SolveMS, l.Residual)
+		if !l.DenseWouldAllocate {
+			fmt.Fprintf(w, "  the pre-LDLT fallback chain could not run this system at all: dense LU would need %.1f GiB > cap\n",
+				float64(l.DenseBytes)/(1<<30))
+		}
 	}
 	if r.DTM != nil {
 		fmt.Fprintf(w, "\nDTM end-to-end with %s local solvers: n=%d on %d processors: converged=%v at t=%.0f, %d local solves, %d messages, relative residual %.3g\n",

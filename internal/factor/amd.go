@@ -1,0 +1,251 @@
+package factor
+
+import (
+	"repro/internal/sparse"
+)
+
+// AMD computes an approximate-minimum-degree ordering of the symmetric
+// sparsity pattern of a, in the style of Amestoy, Davis and Duff: vertices are
+// eliminated greedily by (approximate) external degree on a quotient graph
+// whose eliminated vertices become elements, with the |Le \ Lp| bound standing
+// in for the exact degree and with elements absorbed as soon as their
+// boundary is swallowed by a newer element. The returned permutation follows
+// the package convention perm[new] = old.
+//
+// The ordering is deterministic: the pending-vertex heap breaks degree ties
+// towards the smaller vertex index, and every adjacency sweep runs in index
+// order. Supervariable (indistinguishable-node) detection is deliberately
+// omitted — it changes constants, not the fill quality the tests pin — which
+// keeps the implementation small enough to audit.
+func AMD(a *sparse.CSR) Perm {
+	n := a.Rows()
+	perm := make(Perm, 0, n)
+
+	// Variable adjacency (off-diagonal, pruned in place as the elimination
+	// proceeds) and per-variable element lists. Element e is the vertex whose
+	// elimination created it; bound[e] is its boundary Le.
+	adj := make([][]int32, n)
+	elems := make([][]int32, n)
+	bound := make([][]int32, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		cols, _ := a.RowView(i)
+		row := make([]int32, 0, len(cols))
+		for _, j := range cols {
+			if j != i {
+				row = append(row, int32(j))
+			}
+		}
+		adj[i] = row
+		deg[i] = len(row)
+	}
+
+	var (
+		eliminated = make([]bool, n)
+		deadElem   = make([]bool, n)
+		mark       = make([]int, n) // Lp membership, stamped per elimination
+		wseen      = make([]int, n) // |Le \ Lp| computation stamp
+		w          = make([]int, n) // |Le \ Lp| per alive element
+		lp         = make([]int32, 0, n)
+	)
+	for i := range mark {
+		mark[i], wseen[i] = -1, -1
+	}
+
+	// Min-heap of deg<<32|vertex with lazy deletion: a popped entry whose
+	// degree no longer matches deg[v] is stale and skipped. The packed key
+	// makes ties break towards the smaller vertex index for free.
+	heap := newDegHeap(n)
+	for v := 0; v < n; v++ {
+		heap.push(deg[v], v)
+	}
+
+	for k := 0; k < n; k++ {
+		p := -1
+		for {
+			d, v, ok := heap.pop()
+			if !ok {
+				break
+			}
+			if eliminated[v] || d != deg[v] {
+				continue
+			}
+			p = v
+			break
+		}
+		if p == -1 {
+			break // unreachable for a well-formed heap; defensive
+		}
+
+		// Form Lp = (Ap ∪ ⋃_{e∈Ep} Le) \ {p}: the uneliminated vertices the
+		// new element p is adjacent to.
+		lp = lp[:0]
+		mark[p] = k
+		for _, j := range adj[p] {
+			if v := int(j); !eliminated[v] && mark[v] != k {
+				mark[v] = k
+				lp = append(lp, j)
+			}
+		}
+		for _, e := range elems[p] {
+			if deadElem[e] {
+				continue
+			}
+			for _, j := range bound[e] {
+				if v := int(j); v != p && mark[v] != k {
+					mark[v] = k
+					lp = append(lp, j)
+				}
+			}
+			deadElem[e] = true // absorbed into p
+			bound[e] = nil
+		}
+		sortInt32(lp)
+		bound[p] = append([]int32(nil), lp...)
+		eliminated[p] = true
+		elems[p], adj[p] = nil, nil
+		perm = append(perm, p)
+
+		// First pass: w[e] = |Le \ Lp| for every alive element adjacent to Lp
+		// (initialise to |Le| on first sight, then subtract one per boundary
+		// member found inside Lp).
+		for _, ji := range lp {
+			for _, e := range elems[ji] {
+				if deadElem[e] {
+					continue
+				}
+				if wseen[e] != k {
+					wseen[e] = k
+					w[e] = len(bound[e])
+				}
+				w[e]--
+			}
+		}
+
+		// Second pass: prune each i ∈ Lp and recompute its approximate degree
+		//   d(i) ≈ |Ai \ Lp| + |Lp \ {i}| + Σ_{e ∈ Ei} |Le \ Lp|.
+		remaining := n - k - 1
+		for _, ji := range lp {
+			i := int(ji)
+			// Ai loses everything now reachable through element p.
+			av := adj[i][:0]
+			for _, j := range adj[i] {
+				if v := int(j); !eliminated[v] && mark[v] != k {
+					av = append(av, j)
+				}
+			}
+			adj[i] = av
+			// Ei drops dead (absorbed) elements and gains p. An element whose
+			// boundary is entirely inside Lp (w == 0 ignoring i itself being
+			// counted out below) is dominated by p and absorbed.
+			ev := elems[i][:0]
+			d := len(av) + len(lp) - 1
+			for _, e := range elems[i] {
+				if deadElem[e] {
+					continue
+				}
+				if wseen[e] == k && w[e] <= 0 {
+					deadElem[e] = true
+					bound[e] = nil
+					continue
+				}
+				ev = append(ev, e)
+				if wseen[e] == k {
+					d += w[e]
+				} else {
+					d += len(bound[e])
+				}
+			}
+			elems[i] = append(ev, int32(p))
+			if d > remaining-1 {
+				d = remaining - 1
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d != deg[i] {
+				deg[i] = d
+				heap.push(d, i)
+			}
+		}
+	}
+	return perm
+}
+
+// degHeap is a binary min-heap over packed (degree, vertex) keys with lazy
+// deletion; the low 32 bits carry the vertex so equal degrees order by index.
+type degHeap struct{ keys []int64 }
+
+func newDegHeap(capacity int) *degHeap {
+	return &degHeap{keys: make([]int64, 0, capacity)}
+}
+
+func (h *degHeap) push(deg, v int) {
+	h.keys = append(h.keys, int64(deg)<<32|int64(v))
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			break
+		}
+		h.keys[parent], h.keys[i] = h.keys[i], h.keys[parent]
+		i = parent
+	}
+}
+
+func (h *degHeap) pop() (deg, v int, ok bool) {
+	if len(h.keys) == 0 {
+		return 0, 0, false
+	}
+	top := h.keys[0]
+	last := len(h.keys) - 1
+	h.keys[0] = h.keys[last]
+	h.keys = h.keys[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.keys[l] < h.keys[smallest] {
+			smallest = l
+		}
+		if r < last && h.keys[r] < h.keys[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.keys[i], h.keys[smallest] = h.keys[smallest], h.keys[i]
+		i = smallest
+	}
+	return int(top >> 32), int(top & 0xffffffff), true
+}
+
+// sortInt32 is an insertion/quick hybrid over the small boundary slices AMD
+// sorts per elimination (avoiding a sort.Slice closure allocation per call).
+func sortInt32(s []int32) {
+	if len(s) < 24 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	pivot := s[len(s)/2]
+	left, right := 0, len(s)-1
+	for left <= right {
+		for s[left] < pivot {
+			left++
+		}
+		for s[right] > pivot {
+			right--
+		}
+		if left <= right {
+			s[left], s[right] = s[right], s[left]
+			left++
+			right--
+		}
+	}
+	sortInt32(s[:right+1])
+	sortInt32(s[left:])
+}

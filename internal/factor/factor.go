@@ -11,11 +11,18 @@
 //   - "dense-lu" — dense.LU with partial pivoting; the fallback for blocks
 //     that are merely SNND (so Cholesky fails by a hair) or unsymmetric.
 //   - "sparse-cholesky" — the sparse up-looking Cholesky of this package with
-//     a reverse Cuthill–McKee fill-reducing ordering; memory and factor time
-//     scale with nnz(L), which for grid Laplacians is O(n·bandwidth) instead
-//     of O(n²), unlocking subdomain sizes that are flatly infeasible dense.
-//   - "auto" — picks a backend by size and density and performs the classic
-//     Cholesky → ErrNotPositiveDefinite → LU fallback.
+//     a fill-reducing ordering picked per block (reverse Cuthill–McKee for
+//     grid-like patterns, approximate minimum degree for irregular ones);
+//     memory and factor time scale with nnz(L), which for grid Laplacians is
+//     O(n·bandwidth) instead of O(n²), unlocking subdomain sizes that are
+//     flatly infeasible dense.
+//   - "sparse-ldlt" — the sparse up-looking LDLᵀ with 1×1 diagonal pivots and
+//     the same per-block ordering policy; it factorises the symmetric blocks
+//     that are merely SNND or indefinite (saddle points, shifted Laplacians)
+//     at sparse cost, removing the last reason a huge block had to densify.
+//   - "auto" — picks a backend by size and density and performs the fallback
+//     chain sparse-Cholesky → ErrNotPositiveDefinite → sparse-LDLᵀ → dense LU
+//     (dense-Cholesky → dense-LU for small blocks).
 //
 // Every backend is deterministic: for a fixed backend name and input matrix
 // the factor and all solves are byte-identical run over run, which the DES
@@ -37,6 +44,7 @@ const (
 	DenseCholesky  = "dense-cholesky"
 	DenseLU        = "dense-lu"
 	SparseCholesky = "sparse-cholesky"
+	SparseLDLT     = "sparse-ldlt"
 	Auto           = "auto"
 )
 
@@ -44,6 +52,11 @@ const (
 // not strictly positive (the matrix is not numerically SPD). It aliases the
 // dense package's sentinel so errors.Is works across backends.
 var ErrNotPositiveDefinite = dense.ErrNotPositiveDefinite
+
+// ErrSingular is returned by the LU and LDLᵀ backends when a pivot is
+// numerically zero (the matrix is singular to working precision). It aliases
+// the dense package's sentinel so errors.Is works across backends.
+var ErrSingular = dense.ErrSingular
 
 // ErrDenseTooLarge is returned when a dense backend would have to allocate
 // more than MaxDenseBytes. It turns an out-of-memory crash into a clean,
@@ -93,6 +106,7 @@ func init() {
 	Register(DenseCholesky, newDenseCholesky)
 	Register(DenseLU, newDenseLU)
 	Register(SparseCholesky, newSparseCholeskyBackend)
+	Register(SparseLDLT, newSparseLDLTBackend)
 	Register(Auto, newAuto)
 }
 
@@ -210,7 +224,11 @@ func newDenseLU(a *sparse.CSR) (LocalSolver, error) {
 }
 
 func newSparseCholeskyBackend(a *sparse.CSR) (LocalSolver, error) {
-	return NewCholesky(a, OrderRCM)
+	return NewCholesky(a, OrderAuto)
+}
+
+func newSparseLDLTBackend(a *sparse.CSR) (LocalSolver, error) {
+	return NewLDLT(a, OrderAuto)
 }
 
 // Auto policy thresholds: blocks below autoSparseMinDim solve fastest with
@@ -221,18 +239,32 @@ const (
 	autoMaxDensity   = 0.25
 )
 
-// newAuto picks a Cholesky backend by size and density and falls back to LU
-// with partial pivoting when the block is not positive definite — the single
-// home of the fallback previously copy-pasted across core and iterative.
+// autoPicksSparse reports whether the auto policy factorises an n-dimensional
+// block with the given nnz sparsely (either because a dense factor cannot be
+// allocated at all, or because the block is large and sparse enough that the
+// sparse kernels win).
+func autoPicksSparse(n, nnz int) bool {
+	if DenseFeasible(n) != nil {
+		return true
+	}
+	if n < autoSparseMinDim {
+		return false
+	}
+	return float64(nnz)/(float64(n)*float64(n)) <= autoMaxDensity
+}
+
+// newAuto picks a backend by size and density — the single home of the
+// non-SPD fallback previously copy-pasted across core and iterative. On the
+// sparse path the chain is sparse-Cholesky → ErrNotPositiveDefinite →
+// sparse-LDLᵀ → dense LU, so a block that is both huge and merely SNND now
+// factorises sparsely instead of dying at ErrDenseTooLarge; on the dense path
+// (small blocks) it stays dense-Cholesky → dense LU.
 func newAuto(a *sparse.CSR) (LocalSolver, error) {
 	n := a.Rows()
+	sparsePath := autoPicksSparse(n, a.NNZ())
 	chol := DenseCholesky
-	if DenseFeasible(n) != nil {
+	if sparsePath {
 		chol = SparseCholesky
-	} else if n >= autoSparseMinDim && n > 0 {
-		if density := float64(a.NNZ()) / (float64(n) * float64(n)); density <= autoMaxDensity {
-			chol = SparseCholesky
-		}
 	}
 	s, err := New(chol, a)
 	if err == nil {
@@ -241,9 +273,17 @@ func newAuto(a *sparse.CSR) (LocalSolver, error) {
 	if !errors.Is(err, ErrNotPositiveDefinite) {
 		return nil, err
 	}
-	// The block is at best SNND: LU with partial pivoting handles it. There is
-	// no sparse LU backend yet (a ROADMAP open item), so a block that is both
-	// huge and non-SPD surfaces ErrDenseTooLarge here.
+	// The block is at best SNND. On the sparse path try LDLᵀ first: same
+	// sparse cost model, no definiteness requirement.
+	if sparsePath {
+		ldlt, lErr := New(SparseLDLT, a)
+		if lErr == nil {
+			return ldlt, nil
+		}
+		// A numerically singular block falls through to dense LU below, whose
+		// row pivoting can still succeed where diagonal pivots cannot.
+		err = fmt.Errorf("%v; sparse-ldlt: %w", err, lErr)
+	}
 	lu, luErr := New(DenseLU, a)
 	if luErr != nil {
 		return nil, fmt.Errorf("factor: auto fallback after %v: %w", err, luErr)

@@ -8,7 +8,7 @@ import (
 )
 
 func TestBackendsRegistered(t *testing.T) {
-	for _, name := range []string{Auto, DenseCholesky, DenseLU, SparseCholesky} {
+	for _, name := range []string{Auto, DenseCholesky, DenseLU, SparseCholesky, SparseLDLT} {
 		if !Known(name) {
 			t.Errorf("backend %q is not registered", name)
 		}
@@ -112,9 +112,80 @@ func TestDenseGuard(t *testing.T) {
 	}
 }
 
+// TestAutoRoutesLargeNonSPDToSparseLDLT is the regression test for the bug
+// where the auto policy treated ErrNotPositiveDefinite from the sparse
+// Cholesky exactly like the dense one — falling straight to dense LU — so a
+// block that was both large and merely SNND/indefinite died at
+// ErrDenseTooLarge. With the chain sparse-Cholesky → sparse-LDLᵀ → dense LU
+// the same block factorises sparsely.
+func TestAutoRoutesLargeNonSPDToSparseLDLT(t *testing.T) {
+	// Shrink the dense cap so "beyond the dense memory wall" is cheap to
+	// reach: with a 1 MiB cap, DenseFeasible fails above n = 209.
+	saved := MaxDenseBytes
+	MaxDenseBytes = 1 << 20
+	defer func() { MaxDenseBytes = saved }()
+
+	sys := sparse.SaddlePoisson2D(20, 20, 1e-2) // n = 420, indefinite
+	n := sys.Dim()
+	if DenseFeasible(n) == nil {
+		t.Fatalf("test setup: n=%d should be past the lowered dense cap", n)
+	}
+	if _, err := New(SparseCholesky, sys.A); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("sparse Cholesky on the saddle system: %v, want ErrNotPositiveDefinite", err)
+	}
+	// The old chain's landing spot, dense LU, is infeasible at this cap …
+	if _, err := New(DenseLU, sys.A); !errors.Is(err, ErrDenseTooLarge) {
+		t.Fatalf("dense LU at the lowered cap: %v, want ErrDenseTooLarge", err)
+	}
+	// … but auto now routes to the sparse LDLᵀ and solves.
+	s, err := New(Auto, sys.A)
+	if err != nil {
+		t.Fatalf("Auto on a large non-SPD block: %v", err)
+	}
+	if s.Backend() != SparseLDLT {
+		t.Errorf("Auto picked %q, want %q", s.Backend(), SparseLDLT)
+	}
+	x := Solve(s, sys.B)
+	if r := sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2(); r > 1e-10 {
+		t.Errorf("auto LDLT solve has relative residual %g", r)
+	}
+}
+
+// TestAutoFallsThroughToDenseLUWhenLDLTFails covers the last link of the
+// chain: a singular-to-LDLT block (zero diagonal pivots that 1×1 pivoting
+// cannot pass) still reaches dense LU when that is feasible.
+func TestAutoFallsThroughToDenseLUWhenLDLTFails(t *testing.T) {
+	// An anti-diagonal permutation-like matrix: symmetric, nonsingular, but
+	// every leading principal minor up to n/2 is singular, so un-pivoted LDLᵀ
+	// meets a zero pivot immediately. Sized past autoSparseMinDim with low
+	// density so the auto policy takes the sparse path.
+	n := 2 * autoSparseMinDim
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n/2; i++ {
+		coo.AddSym(i, n-1-i, 1)
+	}
+	a := coo.ToCSR()
+	if _, err := New(SparseLDLT, a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("sparse LDLT on the anti-diagonal: %v, want ErrSingular", err)
+	}
+	s, err := New(Auto, a)
+	if err != nil {
+		t.Fatalf("Auto on the anti-diagonal: %v", err)
+	}
+	if s.Backend() != DenseLU {
+		t.Errorf("Auto picked %q, want %q", s.Backend(), DenseLU)
+	}
+	b := sparse.NewVec(n)
+	b.Fill(2)
+	x := Solve(s, b)
+	if x.MaxAbsDiff(b) > 1e-12 { // the anti-diagonal is an involution
+		t.Error("anti-diagonal solve should mirror the right-hand side")
+	}
+}
+
 func TestSolverDims(t *testing.T) {
 	sys := sparse.Poisson2D(7, 6, 0.05)
-	for _, backend := range []string{DenseCholesky, DenseLU, SparseCholesky, Auto} {
+	for _, backend := range []string{DenseCholesky, DenseLU, SparseCholesky, SparseLDLT, Auto} {
 		s, err := New(backend, sys.A)
 		if err != nil {
 			t.Fatalf("%s: %v", backend, err)

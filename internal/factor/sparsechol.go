@@ -7,18 +7,6 @@ import (
 	"repro/internal/sparse"
 )
 
-// Ordering selects the fill-reducing ordering of the sparse Cholesky.
-type Ordering int
-
-const (
-	// OrderNatural factorises the matrix as given.
-	OrderNatural Ordering = iota
-	// OrderRCM applies the reverse Cuthill–McKee ordering first; on the grid
-	// Laplacians DTM tears apart this keeps the factor banded, so nnz(L) is
-	// O(n·bandwidth) instead of the O(n²) a bad ordering can fill in to.
-	OrderRCM
-)
-
 // Cholesky is the sparse factor L of the symmetrically permuted SPD
 // matrix P·A·Pᵀ = L·Lᵀ, stored column-compressed with the diagonal entry
 // first in every column. The symbolic phase (elimination tree and per-column
@@ -31,25 +19,27 @@ const (
 // triangle were mirrored.
 type Cholesky struct {
 	n      int
-	perm   Perm // perm[new] = old; nil when the ordering is the identity
+	order  Ordering // the resolved concrete ordering (never OrderAuto)
+	perm   Perm     // perm[new] = old; nil when the ordering is the identity
 	colPtr []int
 	rowIdx []int32
 	vals   []float64
 	work   sparse.Vec // permuted rhs/solution scratch, one per factor
 }
 
-// NewCholesky factorises the sparse SPD matrix a under the given
-// ordering. It returns ErrNotPositiveDefinite when a pivot is not strictly
-// positive, leaving the caller (the auto policy) to fall back to LU.
+// NewCholesky factorises the sparse SPD matrix a under the given ordering
+// (OrderAuto resolves per the grid-vs-irregular policy). It returns
+// ErrNotPositiveDefinite when a pivot is not strictly positive, leaving the
+// caller (the auto policy) to fall back to the sparse LDLᵀ or dense LU.
 func NewCholesky(a *sparse.CSR, order Ordering) (*Cholesky, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("factor: sparse Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	s := &Cholesky{n: n, work: sparse.NewVec(n)}
+	s := &Cholesky{n: n, order: resolveOrdering(a, order), work: sparse.NewVec(n)}
 	c := a
-	if order == OrderRCM && n > 1 {
-		if p := RCM(a); !p.IsIdentity() {
+	if n > 1 {
+		if p := fillReducing(a, s.order); p != nil {
 			s.perm = p
 			c = PermuteSym(a, p)
 		}
@@ -189,6 +179,10 @@ func (s *Cholesky) Backend() string { return SparseCholesky }
 
 // NNZL returns the number of stored entries of the factor L.
 func (s *Cholesky) NNZL() int { return len(s.vals) }
+
+// Ordering returns the concrete fill-reducing ordering the factorisation
+// resolved to (OrderRCM or OrderAMD when built with OrderAuto).
+func (s *Cholesky) Ordering() Ordering { return s.order }
 
 // Perm returns the fill-reducing ordering in use (nil for the natural order).
 // The returned slice is live — callers must not mutate it.

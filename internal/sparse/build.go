@@ -274,6 +274,52 @@ func ResistorNetwork(nx, ny int, seed int64) System {
 	return System{A: coo.ToCSR(), B: b, Name: fmt.Sprintf("resistor-%dx%d-seed%d", nx, ny, seed)}
 }
 
+// SaddlePoisson2D returns the symmetric quasi-definite saddle-point system
+//
+//	[ A   B ] [u]   [f]
+//	[ Bᵀ  -C ] [λ] = [g]
+//
+// with A the SPD 5-point Laplacian on an nx×ny grid, one multiplier row per
+// grid row coupling every node of that row (B dense within the row, so the
+// multiplier rows have off-diagonal degree nx — an irregular, decidedly
+// non-stencil pattern), and C = gamma·I, gamma > 0. The system is symmetric,
+// nonsingular and indefinite: its inertia is (nx·ny positive, ny negative), so
+// every Cholesky backend rejects it, while an LDLᵀ with 1×1 diagonal pivots
+// factorises it under any symmetric permutation (quasi-definiteness is exactly
+// the strong-factorability condition). It is the workload of the E6 non-SPD
+// leg: at large nx·ny it is simultaneously beyond the dense memory cap and
+// outside the SPD class, the combination that used to be unsolvable.
+func SaddlePoisson2D(nx, ny int, gamma float64) System {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("sparse: SaddlePoisson2D invalid grid %dx%d", nx, ny))
+	}
+	if gamma <= 0 {
+		panic("sparse: SaddlePoisson2D requires gamma > 0 for quasi-definiteness")
+	}
+	grid := Poisson2D(nx, ny, 0.05)
+	n := nx * ny
+	total := n + ny
+	coo := NewCOO(total, total)
+	grid.A.Each(func(i, j int, v float64) { coo.Add(i, j, v) })
+	for iy := 0; iy < ny; iy++ {
+		lam := n + iy
+		for ix := 0; ix < nx; ix++ {
+			// Each multiplier constrains the mean of its grid row (scaled so the
+			// coupling is O(1) regardless of nx).
+			coo.AddSym(ix+iy*nx, lam, 1/float64(nx))
+		}
+		coo.Add(lam, lam, -gamma)
+	}
+	b := NewVec(total)
+	copy(b, grid.B)
+	for iy := 0; iy < ny; iy++ {
+		// A smooth, deterministic constraint target.
+		y := float64(iy+1) / float64(ny+1)
+		b[n+iy] = y * (1 - y)
+	}
+	return System{A: coo.ToCSR(), B: b, Name: fmt.Sprintf("saddle-poisson2d-%dx%d", nx, ny)}
+}
+
 // RandomVec returns a length-n vector with standard normal entries drawn from
 // the given seed.
 func RandomVec(n int, seed int64) Vec {

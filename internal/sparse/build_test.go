@@ -227,3 +227,49 @@ func TestRandomGeneratorsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSaddlePoisson2DStructure(t *testing.T) {
+	nx, ny := 11, 7
+	sys := SaddlePoisson2D(nx, ny, 1e-2)
+	n := nx * ny
+	if sys.Dim() != n+ny {
+		t.Fatalf("dimension %d, want %d grid unknowns + %d multipliers", sys.Dim(), n, ny)
+	}
+	if !sys.A.IsSymmetric(0) {
+		t.Error("saddle system must be exactly symmetric")
+	}
+	// The leading n×n block is the shifted Laplacian; the trailing diagonal is
+	// strictly negative (−gamma), so the matrix cannot be positive definite.
+	for iy := 0; iy < ny; iy++ {
+		if d := sys.A.At(n+iy, n+iy); d >= 0 {
+			t.Errorf("multiplier diagonal %d is %g, want negative", iy, d)
+		}
+		// Each multiplier couples to every node of its grid row.
+		cols, _ := sys.A.RowView(n + iy)
+		if len(cols) != nx+1 {
+			t.Errorf("multiplier row %d has %d entries, want %d", iy, len(cols), nx+1)
+		}
+	}
+	// Deterministic construction.
+	again := SaddlePoisson2D(nx, ny, 1e-2)
+	if !sys.A.EqualApprox(again.A, 0) || sys.B.MaxAbsDiff(again.B) != 0 {
+		t.Error("SaddlePoisson2D is not deterministic")
+	}
+}
+
+func TestSaddlePoisson2DPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SaddlePoisson2D(0, 3, 1e-2) },
+		func() { SaddlePoisson2D(3, -1, 1e-2) },
+		func() { SaddlePoisson2D(3, 3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid SaddlePoisson2D arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
