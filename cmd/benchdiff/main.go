@@ -90,7 +90,8 @@ func main() {
 // diff compares every baseline experiment against the current measurement.
 // A baseline experiment missing from the current run fails the gate (the
 // perf frontier must not silently shrink); experiments new in the current run
-// are reported but cannot regress against nothing.
+// are informational — reported in the summary, exit 0 — so a PR that adds a
+// benchmark does not need a two-step baseline dance to land.
 func diff(baseline, current benchjson.File, th thresholds) ([]row, bool) {
 	cur := make(map[string]benchjson.Record, len(current.Results))
 	for _, r := range current.Results {
@@ -124,7 +125,7 @@ func diff(baseline, current benchjson.File, th thresholds) ([]row, bool) {
 		if _, stillNew := cur[c.Experiment]; stillNew {
 			rows = append(rows, row{
 				Experiment: c.Experiment, CurNs: c.NsPerOp, CurAlloc: c.AllocsOp,
-				Verdict: "new (no baseline)",
+				Verdict: "new (informational, no baseline yet)",
 			})
 		}
 	}
@@ -152,6 +153,15 @@ func renderMarkdown(rows []row, th thresholds, failed bool) string {
 		fmt.Fprintf(&b, "| %s | %s | %s | %+.1f%% | %s | %s | %+.1f%% | %s |\n",
 			r.Experiment, human(r.BaseNs), human(r.CurNs), 100*r.NsDelta,
 			human(r.BaseAllocs), human(r.CurAlloc), 100*r.AllocsDelta, r.Verdict)
+	}
+	newCount := 0
+	for _, r := range rows {
+		if strings.HasPrefix(r.Verdict, "new ") {
+			newCount++
+		}
+	}
+	if newCount > 0 {
+		fmt.Fprintf(&b, "\n%d experiment(s) are new in this run and do not gate; they join the baseline at the next `make bench` re-baseline.\n", newCount)
 	}
 	if failed {
 		fmt.Fprintf(&b, "\n**FAIL** — at least one experiment regressed past the limits (time +%.0f%%, allocs +%.0f%%). "+

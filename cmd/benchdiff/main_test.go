@@ -83,6 +83,10 @@ func TestDiffFailsOnMissingExperiment(t *testing.T) {
 	}
 }
 
+// TestDiffReportsNewExperiments pins the informational path: an experiment
+// present in the fresh run but absent from the committed baseline must be
+// reported without failing the gate (exit 0), so a PR adding a benchmark
+// needs no two-step baseline churn.
 func TestDiffReportsNewExperiments(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("brand-new", 1e6, 10)}}
@@ -90,8 +94,15 @@ func TestDiffReportsNewExperiments(t *testing.T) {
 	if failed {
 		t.Fatal("a new experiment must not fail the gate")
 	}
-	if len(rows) != 2 || rows[1].Experiment != "brand-new" || rows[1].Verdict != "new (no baseline)" {
+	if len(rows) != 2 || rows[1].Experiment != "brand-new" || !strings.HasPrefix(rows[1].Verdict, "new ") {
 		t.Errorf("new experiment not reported: %+v", rows)
+	}
+	if rows[1].Failed {
+		t.Error("new experiment marked as failed")
+	}
+	md := renderMarkdown(rows, defaultThresholds(), failed)
+	if !strings.Contains(md, "brand-new") || !strings.Contains(md, "do not gate") {
+		t.Errorf("markdown does not call out the informational experiment:\n%s", md)
 	}
 }
 

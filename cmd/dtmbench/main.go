@@ -9,6 +9,11 @@
 //	dtmbench -exp fig12 -quick
 //	dtmbench -all -quick
 //	dtmbench -benchjson BENCH_dtm.json -quick
+//	dtmbench -exp scale-sparse -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The -cpuprofile and -memprofile flags capture pprof profiles of whatever
+// the invocation runs — the way to find factorisation hot spots without
+// hand-building test binaries (`go tool pprof cpu.pprof`).
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/benchjson"
@@ -32,6 +38,8 @@ func main() {
 		list        = flag.Bool("list", false, "list the available experiments")
 		benchjson   = flag.String("benchjson", "", "measure the hot-path experiments and write machine-readable results to this JSON file")
 		localSolver = flag.String("localsolver", "", fmt.Sprintf("local-factorisation backend every experiment's subdomain/block solves use: one of %v (default %q)", factor.Backends(), factor.Default()))
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -44,38 +52,73 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: starting CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	code := dispatch(*benchjson, *exp, *quick, *all, *list)
+
+	// Flush the profiles before exiting — the error paths above run before
+	// any profiling starts, but experiment failures must still produce a
+	// usable profile of the work done so far.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if f, err := os.Create(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+		} else {
+			runtime.GC() // materialise the final heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dtmbench: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// dispatch runs the selected mode and returns the process exit code.
+func dispatch(benchPath, exp string, quick, all, list bool) int {
 	registry := experiments.Registry()
 	switch {
-	case *benchjson != "":
-		if err := writeBenchJSON(registry, *benchjson, *quick); err != nil {
+	case benchPath != "":
+		if err := writeBenchJSON(registry, benchPath, quick); err != nil {
 			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
-	case *list:
+	case list:
 		fmt.Println("available experiments:")
 		for _, name := range experiments.Names() {
 			fmt.Printf("  %s\n", name)
 		}
-		return
-	case *all:
+	case all:
 		for _, name := range experiments.Names() {
-			if err := runOne(registry, name, *quick); err != nil {
+			if err := runOne(registry, name, quick); err != nil {
 				fmt.Fprintf(os.Stderr, "dtmbench: %s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
-	case *exp != "":
-		if err := runOne(registry, *exp, *quick); err != nil {
+	case exp != "":
+		if err := runOne(registry, exp, quick); err != nil {
 			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func runOne(registry map[string]experiments.Runner, name string, quick bool) error {

@@ -296,6 +296,11 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		case *factor.LDLT:
 			pos, neg := f.Inertia()
 			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d, inertia %d+/%d-)", f.Ordering(), f.NNZL(), pos, neg)
+		case *factor.Supernodal:
+			pos, neg := f.Inertia()
+			tasks, workers := f.Parallelism()
+			summary += fmt.Sprintf(" (%s mode, %s ordering, %d supernodes, nnz(L)=%d, inertia %d+/%d-, %d subtree tasks on %d workers)",
+				f.Mode(), f.Ordering(), f.Supernodes(), f.NNZL(), pos, neg, tasks, workers)
 		}
 		return x, summary, nil
 	case "cg":

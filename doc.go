@@ -10,9 +10,11 @@
 //   - internal/factor — the pluggable local-factorisation subsystem: one
 //     LocalSolver interface over the registered backends dense-cholesky,
 //     dense-lu, sparse-cholesky and sparse-ldlt (up-looking factorisations
-//     with per-block RCM/AMD fill-reducing orderings), plus the auto policy
-//     every subdomain and block solver uses, whose non-SPD fallback chain is
-//     sparse-Cholesky → sparse-LDLᵀ → dense LU;
+//     with per-block RCM/AMD fill-reducing orderings) and sparse-supernodal
+//     (blocked trapezoidal panels over the postordered elimination tree,
+//     with independent subtrees factorised in parallel, deterministically),
+//     plus the auto policy every subdomain and block solver uses, whose
+//     non-SPD fallback chain is sparse-Cholesky → sparse-LDLᵀ → dense LU;
 //   - internal/graph, internal/partition — the electric graph of a symmetric
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission

@@ -41,7 +41,7 @@ func TestSolveDTMDeterminism(t *testing.T) {
 		return res
 	}
 
-	for _, backend := range []string{"", factor.DenseCholesky, factor.SparseCholesky, factor.SparseLDLT, factor.Auto} {
+	for _, backend := range []string{"", factor.DenseCholesky, factor.SparseCholesky, factor.SparseLDLT, factor.SparseSupernodal, factor.Auto} {
 		name := backend
 		if name == "" {
 			name = "default"

@@ -19,8 +19,10 @@ type Options struct {
 	// LocalSolver selects the local-factorisation backend every subdomain
 	// factorises its constant system with (a backend name registered in
 	// internal/factor: "dense-cholesky", "dense-lu", "sparse-cholesky",
-	// "sparse-ldlt" or "auto"). Empty selects the factor package default
-	// ("auto"). Results are byte-identical run over run for a fixed backend.
+	// "sparse-ldlt", "sparse-supernodal" or "auto"). Empty selects the factor
+	// package default ("auto"). Results are byte-identical run over run for a
+	// fixed backend — including "sparse-supernodal", whose parallel subtree
+	// factorisation is deterministic at every GOMAXPROCS.
 	LocalSolver string
 
 	// MaxTime is the virtual time horizon of the run (same unit as the

@@ -13,11 +13,14 @@ import (
 )
 
 // ScaleSparseParams configures the E6 scale-sparse experiment: the same
-// Poisson-grid family at growing sizes, factorised whole by the sparse
-// Cholesky backend, with the dense backends' memory wall made explicit. The
+// Poisson-grid family at growing sizes factorised whole through the auto
+// policy (which hands the large blocks to the supernodal blocked backend),
+// with the dense backends' memory wall and the scalar sparse kernels' speed
+// made explicit at the sizes where each comparison is affordable. The
 // experiment quantifies the claim behind the factor subsystem: after the
 // zero-allocation event core, subdomain factorisation is the scale wall, and
-// exploiting sparsity moves it by orders of magnitude.
+// exploiting sparsity — then dense substructure within the sparse factor —
+// moves it by orders of magnitude.
 type ScaleSparseParams struct {
 	// Sides are the grid side lengths (each system has side² unknowns).
 	Sides []int
@@ -26,71 +29,87 @@ type ScaleSparseParams struct {
 	// this it is reported as skipped or — beyond factor.MaxDenseBytes — as
 	// failing to allocate).
 	DenseAttemptMax int
+	// ScalarAttemptMax is the largest dimension at which the scalar
+	// up-looking sparse Cholesky is also run, so the supernodal speedup is a
+	// measured number rather than a claim.
+	ScalarAttemptMax int
 	// Solves is the number of factor-once/solve-many solves timed per factor.
 	Solves int
 	// DTMSide, when positive, also runs a full DTM solve of the DTMSide² grid
-	// partitioned DTMParts×DTMParts with sparse local factorisations — the
-	// end-to-end pipeline at a size whose subdomains dwarf the old default.
+	// partitioned DTMParts×DTMParts with supernodal local factorisations —
+	// the end-to-end pipeline at a size whose subdomains dwarf the old
+	// default.
 	DTMSide, DTMParts int
 	// DTMMaxTime and DTMTol bound the DTM leg.
 	DTMMaxTime, DTMTol float64
 	// NonSPDSide, when positive, adds the non-SPD leg: the symmetric
 	// quasi-definite saddle system of a NonSPDSide² grid (plus one multiplier
-	// per grid row) handed to the auto policy. Before the sparse LDLᵀ backend
-	// existed this leg could not run at all above the dense cap — auto fell
-	// from the sparse Cholesky's ErrNotPositiveDefinite straight to dense LU
-	// and died at factor.ErrDenseTooLarge.
+	// per grid row) handed to the auto policy. Before the sparse LDLᵀ backends
+	// existed this leg could not run at all above the dense cap.
 	NonSPDSide int
 	// NonSPDSolves is the number of timed solves on the non-SPD leg.
 	NonSPDSolves int
 }
 
-// DefaultScaleSparseParams runs up to a 65536-unknown grid — a system whose
-// dense factorisation would need ~100 GiB.
+// DefaultScaleSparseParams runs up to a 147456-unknown grid — a system whose
+// dense factorisation would need ~500 GiB — the sizes where the scalar
+// up-looking kernels dominated runtime before the supernodal backend.
 func DefaultScaleSparseParams() ScaleSparseParams {
 	return ScaleSparseParams{
-		Sides:           []int{32, 64, 128, 256},
-		DenseAttemptMax: 1200,
-		Solves:          10,
-		DTMSide:         128,
-		DTMParts:        2,
-		DTMMaxTime:      4000,
-		DTMTol:          1e-8,
-		NonSPDSide:      256,
-		NonSPDSolves:    10,
+		Sides:            []int{32, 64, 128, 256, 384},
+		DenseAttemptMax:  1200,
+		ScalarAttemptMax: 70000,
+		Solves:           10,
+		DTMSide:          128,
+		DTMParts:         2,
+		DTMMaxTime:       4000,
+		DTMTol:           1e-8,
+		NonSPDSide:       256,
+		NonSPDSolves:     10,
 	}
 }
 
 // QuickScaleSparseParams is the reduced configuration for tests, CI smoke and
 // -quick benchmarks. The largest size (128² = 16384 unknowns) is already past
 // factor.MaxDenseBytes, so the dense-fails/sparse-completes contrast is
-// exercised even at quick scale.
+// exercised even at quick scale; the smallest size keeps the dense
+// comparison branch alive cheaply. The scalar-vs-supernodal comparison runs
+// at every quick size: 128² is exactly the block size where the scalar
+// kernels used to dominate the quick runtime.
 func QuickScaleSparseParams() ScaleSparseParams {
 	return ScaleSparseParams{
-		Sides:           []int{32, 64, 128},
-		DenseAttemptMax: 1200,
-		Solves:          5,
-		DTMSide:         64,
-		DTMParts:        2,
-		DTMMaxTime:      2000,
-		DTMTol:          1e-6,
-		NonSPDSide:      128,
-		NonSPDSolves:    5,
+		Sides:            []int{16, 64, 128},
+		DenseAttemptMax:  1200,
+		ScalarAttemptMax: 5000,
+		Solves:           5,
+		DTMSide:          64,
+		DTMParts:         2,
+		DTMMaxTime:       2000,
+		DTMTol:           1e-6,
+		NonSPDSide:       128,
+		NonSPDSolves:     5,
 	}
 }
 
 // ScaleSparseRow is the measurement at one grid size.
 type ScaleSparseRow struct {
-	Side, N, NNZ   int
-	NNZL           int
-	FillRatio      float64 // nnz(L) / nnz(tril(A))
-	FactorMS       float64
-	SolveMS        float64 // per solve, averaged over Solves
-	Residual       float64
+	Side, N, NNZ int
+	Backend      string // what the auto policy picked
+	Supernodes   int    // supernode count when the supernodal backend ran
+	NNZL         int
+	FillRatio    float64 // nnz(L) / nnz(tril(A))
+	FactorMS     float64
+	SolveMS      float64 // per solve, averaged over Solves
+	Residual     float64
+
+	ScalarStatus   string  // "" when the scalar backend was not attempted
+	ScalarFactorMS float64 // scalar up-looking sparse Cholesky, for comparison
+	ScalarSpeedup  float64 // scalar factor time / auto factor time
+
 	DenseBytes     int64 // what the dense backend would have to allocate
 	DenseStatus    string
 	DenseFactorMS  float64 // only when the dense backend was actually run
-	DenseSpeedupVs float64 // dense factor time / sparse factor time
+	DenseSpeedupVs float64 // dense factor time / auto factor time
 }
 
 // ScaleSparseDTM is the end-to-end DTM leg of E6.
@@ -105,11 +124,13 @@ type ScaleSparseDTM struct {
 }
 
 // ScaleSparseNonSPD is the non-SPD leg of E6: a symmetric quasi-definite
-// system past the dense memory cap, factorised through the auto policy's
-// sparse-Cholesky → sparse-LDLᵀ fallback chain.
+// system past the dense memory cap, factorised through the auto policy (the
+// supernodal backend's LDLᵀ mode).
 type ScaleSparseNonSPD struct {
 	N, NNZ, NNZL       int
 	Backend, Ordering  string
+	Mode               string
+	Supernodes         int
 	PosPivots          int
 	NegPivots          int
 	FactorMS, SolveMS  float64
@@ -134,13 +155,19 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		row := ScaleSparseRow{Side: side, N: n, NNZ: sys.A.NNZ(), DenseBytes: factor.DenseBytesNeeded(n)}
 
 		start := time.Now()
-		sol, err := factor.New(factor.SparseCholesky, sys.A)
+		sol, err := factor.New(factor.Auto, sys.A)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: sparse factorisation of n=%d: %w", n, err)
+			return nil, fmt.Errorf("experiments: auto factorisation of n=%d: %w", n, err)
 		}
 		row.FactorMS = float64(time.Since(start).Microseconds()) / 1000
-		chol := sol.(*factor.Cholesky)
-		row.NNZL = chol.NNZL()
+		row.Backend = sol.Backend()
+		switch f := sol.(type) {
+		case *factor.Supernodal:
+			row.NNZL = f.NNZL()
+			row.Supernodes = f.Supernodes()
+		case *factor.Cholesky:
+			row.NNZL = f.NNZL()
+		}
 		row.FillRatio = float64(row.NNZL) / float64((sys.A.NNZ()+n)/2)
 
 		x := sparse.NewVec(n)
@@ -148,8 +175,23 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		for s := 0; s < p.Solves; s++ {
 			sol.SolveTo(x, sys.B)
 		}
-		row.SolveMS = float64(time.Since(start).Microseconds()) / 1000 / float64(p.Solves)
+		row.SolveMS = float64(time.Since(start).Microseconds()) / 1000 / float64(max(p.Solves, 1))
 		row.Residual = sys.A.Residual(x, sys.B).Norm2() / sys.B.Norm2()
+
+		// The scalar up-looking backend, where affordable and where the
+		// comparison is meaningful (auto picked the supernodal kernels): the
+		// measured baseline the supernodal backend is judged against.
+		if n <= p.ScalarAttemptMax && row.Backend == factor.SparseSupernodal {
+			start = time.Now()
+			if _, serr := factor.New(factor.SparseCholesky, sys.A); serr != nil {
+				return nil, fmt.Errorf("experiments: scalar sparse factorisation of n=%d: %w", n, serr)
+			}
+			row.ScalarFactorMS = float64(time.Since(start).Microseconds()) / 1000
+			if row.FactorMS > 0 {
+				row.ScalarSpeedup = row.ScalarFactorMS / row.FactorMS
+			}
+			row.ScalarStatus = "ok"
+		}
 
 		switch {
 		case n <= p.DenseAttemptMax:
@@ -166,7 +208,7 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 			row.DenseStatus = "ok"
 		case factor.DenseFeasible(n) != nil:
 			// The wall E6 exists to demonstrate: the dense backend refuses the
-			// allocation outright; only the sparse backend reaches this size.
+			// allocation outright; only the sparse backends reach this size.
 			err := factor.DenseFeasible(n)
 			if !errors.Is(err, factor.ErrDenseTooLarge) {
 				return nil, fmt.Errorf("experiments: unexpected dense feasibility error: %w", err)
@@ -194,10 +236,18 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		}
 		leg.FactorMS = float64(time.Since(start).Microseconds()) / 1000
 		leg.Backend = sol.Backend()
-		if ldlt, ok := sol.(*factor.LDLT); ok {
-			leg.NNZL = ldlt.NNZL()
-			leg.Ordering = ldlt.Ordering().String()
-			leg.PosPivots, leg.NegPivots = ldlt.Inertia()
+		switch f := sol.(type) {
+		case *factor.Supernodal:
+			leg.NNZL = f.NNZL()
+			leg.Ordering = f.Ordering().String()
+			leg.Mode = f.Mode().String()
+			leg.Supernodes = f.Supernodes()
+			leg.PosPivots, leg.NegPivots = f.Inertia()
+		case *factor.LDLT:
+			leg.NNZL = f.NNZL()
+			leg.Ordering = f.Ordering().String()
+			leg.Mode = "ldlt"
+			leg.PosPivots, leg.NegPivots = f.Inertia()
 		}
 		x := sparse.NewVec(n)
 		start = time.Now()
@@ -220,7 +270,7 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		res, err := core.SolveDTM(prob, core.Options{
 			MaxTime:     p.DTMMaxTime,
 			Tol:         p.DTMTol,
-			LocalSolver: factor.SparseCholesky,
+			LocalSolver: factor.SparseSupernodal,
 		})
 		if err != nil {
 			return nil, err
@@ -228,7 +278,7 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		out.DTM = &ScaleSparseDTM{
 			N:         sys.Dim(),
 			Parts:     parts,
-			Backend:   factor.SparseCholesky,
+			Backend:   factor.SparseSupernodal,
 			Solves:    res.Solves,
 			Messages:  res.Messages,
 			FinalTime: res.FinalTime,
@@ -241,13 +291,21 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 
 // Render implements Renderer.
 func (r *ScaleSparseResult) Render(w io.Writer) error {
-	fmt.Fprintln(w, "E6 — scale-sparse: whole-system sparse factorisation vs the dense memory wall")
-	fmt.Fprintf(w, "%8s %8s %9s %9s %7s %10s %10s %9s  %s\n",
-		"n", "nnz(A)", "nnz(L)", "fill", "factor", "solve", "residual", "dense-need", "dense backend")
+	fmt.Fprintln(w, "E6 — scale-sparse: supernodal whole-system factorisation vs the scalar kernels and the dense memory wall")
+	fmt.Fprintf(w, "%8s %8s %-18s %9s %7s %7s %10s %10s %10s  %s\n",
+		"n", "nnz(A)", "backend", "nnz(L)", "fill", "factor", "solve", "residual", "scalar", "dense backend")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%8d %8d %9d %8.2fx %5.1fms %8.3fms %10.2e %8.1fMB  %s",
-			row.N, row.NNZ, row.NNZL, row.FillRatio, row.FactorMS, row.SolveMS, row.Residual,
-			float64(row.DenseBytes)/(1<<20), row.DenseStatus)
+		backend := row.Backend
+		if row.Supernodes > 0 {
+			backend = fmt.Sprintf("%s/%d", row.Backend, row.Supernodes)
+		}
+		scalar := "-"
+		if row.ScalarStatus == "ok" {
+			scalar = fmt.Sprintf("%.1fms=%.1fx", row.ScalarFactorMS, row.ScalarSpeedup)
+		}
+		fmt.Fprintf(w, "%8d %8d %-18s %9d %6.2fx %5.1fms %8.3fms %10.2e %10s  %s",
+			row.N, row.NNZ, backend, row.NNZL, row.FillRatio, row.FactorMS, row.SolveMS, row.Residual,
+			scalar, row.DenseStatus)
 		if row.DenseStatus == "ok" {
 			fmt.Fprintf(w, " (%.1fms, %.1fx the sparse factor)", row.DenseFactorMS, row.DenseSpeedupVs)
 		}
@@ -256,8 +314,8 @@ func (r *ScaleSparseResult) Render(w io.Writer) error {
 	if r.NonSPD != nil {
 		l := r.NonSPD
 		fmt.Fprintf(w, "\nnon-SPD leg (symmetric quasi-definite saddle system): n=%d, nnz=%d\n", l.N, l.NNZ)
-		fmt.Fprintf(w, "  auto picked %s (%s ordering): nnz(L)=%d, inertia (%d+, %d-), factor %.1fms, solve %.3fms, relative residual %.3g\n",
-			l.Backend, l.Ordering, l.NNZL, l.PosPivots, l.NegPivots, l.FactorMS, l.SolveMS, l.Residual)
+		fmt.Fprintf(w, "  auto picked %s in %s mode (%s ordering, %d supernodes): nnz(L)=%d, inertia (%d+, %d-), factor %.1fms, solve %.3fms, relative residual %.3g\n",
+			l.Backend, l.Mode, l.Ordering, l.Supernodes, l.NNZL, l.PosPivots, l.NegPivots, l.FactorMS, l.SolveMS, l.Residual)
 		if !l.DenseWouldAllocate {
 			fmt.Fprintf(w, "  the pre-LDLT fallback chain could not run this system at all: dense LU would need %.1f GiB > cap\n",
 				float64(l.DenseBytes)/(1<<30))

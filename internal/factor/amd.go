@@ -12,22 +12,53 @@ import (
 // boundary is swallowed by a newer element. The returned permutation follows
 // the package convention perm[new] = old.
 //
+// Two constant-factor accelerations of the classic algorithm are applied:
+//
+//   - Supervariable detection: after each elimination, variables of the
+//     pivot's boundary that have become indistinguishable (identical pruned
+//     adjacency and element lists — found by hashing, then exact comparison)
+//     merge into one supervariable. One representative does the graph work of
+//     the whole group, and the group is emitted together when it is
+//     eliminated, so the quotient graph shrinks far faster than one vertex
+//     per step on meshes and saddle patterns full of twins.
+//   - Mass elimination: a boundary variable whose entire remaining adjacency
+//     is the pivot's boundary (empty pruned adjacency, the new element its
+//     only element) is eliminated immediately with the pivot — it can add no
+//     fill beyond the clique the pivot just formed.
+//
 // The ordering is deterministic: the pending-vertex heap breaks degree ties
-// towards the smaller vertex index, and every adjacency sweep runs in index
-// order. Supervariable (indistinguishable-node) detection is deliberately
-// omitted — it changes constants, not the fill quality the tests pin — which
-// keeps the implementation small enough to audit.
+// towards the smaller vertex index, every sweep runs in index order, and
+// supervariables absorb towards the smallest member.
 func AMD(a *sparse.CSR) Perm {
+	p, _ := amdOrder(a)
+	return p
+}
+
+// amdStats counts the work the supervariable machinery saved: variables
+// absorbed into an indistinguishable principal and variables mass-eliminated
+// alongside a pivot. The property tests assert both mechanisms engage on the
+// patterns they exist for.
+type amdStats struct {
+	supervars int // variables absorbed into an indistinguishable twin
+	massElim  int // variables eliminated for free alongside their pivot
+}
+
+func amdOrder(a *sparse.CSR) (Perm, amdStats) {
+	var stats amdStats
 	n := a.Rows()
 	perm := make(Perm, 0, n)
 
 	// Variable adjacency (off-diagonal, pruned in place as the elimination
-	// proceeds) and per-variable element lists. Element e is the vertex whose
-	// elimination created it; bound[e] is its boundary Le.
+	// proceeds), per-variable element lists, and supervariable sizes. Element
+	// e is the vertex whose elimination created it; bound[e] is its boundary
+	// Le and boundSize[e] the live supervariable mass of that boundary.
 	adj := make([][]int32, n)
 	elems := make([][]int32, n)
 	bound := make([][]int32, n)
+	boundSize := make([]int, n)
 	deg := make([]int, n)
+	nv := make([]int, n)
+	sub := make([][]int32, n) // supervariables absorbed into this principal
 	for i := 0; i < n; i++ {
 		cols, _ := a.RowView(i)
 		row := make([]int32, 0, len(cols))
@@ -38,6 +69,7 @@ func AMD(a *sparse.CSR) Perm {
 		}
 		adj[i] = row
 		deg[i] = len(row)
+		nv[i] = 1
 	}
 
 	var (
@@ -45,11 +77,31 @@ func AMD(a *sparse.CSR) Perm {
 		deadElem   = make([]bool, n)
 		mark       = make([]int, n) // Lp membership, stamped per elimination
 		wseen      = make([]int, n) // |Le \ Lp| computation stamp
-		w          = make([]int, n) // |Le \ Lp| per alive element
+		w          = make([]int, n) // |Le \ Lp| per alive element (size-weighted)
+		hseen      = make([]int, n) // hash-bucket stamp
+		hhead      = make([]int32, n)
+		hnext      = make([]int32, n)
 		lp         = make([]int32, 0, n)
+		emitStack  = make([]int32, 0, 16)
 	)
 	for i := range mark {
-		mark[i], wseen[i] = -1, -1
+		mark[i], wseen[i], hseen[i] = -1, -1, -1
+	}
+
+	// emit appends a principal variable and, transitively, every
+	// supervariable it absorbed (each group in absorption order).
+	emit := func(v int32) {
+		emitStack = append(emitStack[:0], v)
+		for len(emitStack) > 0 {
+			u := emitStack[len(emitStack)-1]
+			emitStack = emitStack[:len(emitStack)-1]
+			perm = append(perm, int(u))
+			// Push in reverse so absorbed members emit in absorption order.
+			for t := len(sub[u]) - 1; t >= 0; t-- {
+				emitStack = append(emitStack, sub[u][t])
+			}
+			sub[u] = nil
+		}
 	}
 
 	// Min-heap of deg<<32|vertex with lazy deletion: a popped entry whose
@@ -60,7 +112,8 @@ func AMD(a *sparse.CSR) Perm {
 		heap.push(deg[v], v)
 	}
 
-	for k := 0; k < n; k++ {
+	step := 0
+	for len(perm) < n {
 		p := -1
 		for {
 			d, v, ok := heap.pop()
@@ -76,15 +129,18 @@ func AMD(a *sparse.CSR) Perm {
 		if p == -1 {
 			break // unreachable for a well-formed heap; defensive
 		}
+		step++
 
-		// Form Lp = (Ap ∪ ⋃_{e∈Ep} Le) \ {p}: the uneliminated vertices the
-		// new element p is adjacent to.
+		// Form Lp = (Ap ∪ ⋃_{e∈Ep} Le) \ {p}: the uneliminated principal
+		// variables the new element p is adjacent to, with their mass.
 		lp = lp[:0]
-		mark[p] = k
+		lpSize := 0
+		mark[p] = step
 		for _, j := range adj[p] {
-			if v := int(j); !eliminated[v] && mark[v] != k {
-				mark[v] = k
+			if v := int(j); !eliminated[v] && mark[v] != step {
+				mark[v] = step
 				lp = append(lp, j)
+				lpSize += nv[v]
 			}
 		}
 		for _, e := range elems[p] {
@@ -92,9 +148,10 @@ func AMD(a *sparse.CSR) Perm {
 				continue
 			}
 			for _, j := range bound[e] {
-				if v := int(j); v != p && mark[v] != k {
-					mark[v] = k
+				if v := int(j); v != p && !eliminated[v] && mark[v] != step {
+					mark[v] = step
 					lp = append(lp, j)
+					lpSize += nv[v]
 				}
 			}
 			deadElem[e] = true // absorbed into p
@@ -102,74 +159,168 @@ func AMD(a *sparse.CSR) Perm {
 		}
 		sortInt32(lp)
 		bound[p] = append([]int32(nil), lp...)
+		boundSize[p] = lpSize
 		eliminated[p] = true
 		elems[p], adj[p] = nil, nil
-		perm = append(perm, p)
+		emit(int32(p))
 
-		// First pass: w[e] = |Le \ Lp| for every alive element adjacent to Lp
-		// (initialise to |Le| on first sight, then subtract one per boundary
-		// member found inside Lp).
+		// First pass: w[e] = |Le \ Lp| (in supervariable mass) for every
+		// alive element adjacent to Lp: initialise to boundSize[e] on first
+		// sight, then subtract each boundary member found inside Lp.
 		for _, ji := range lp {
 			for _, e := range elems[ji] {
 				if deadElem[e] {
 					continue
 				}
-				if wseen[e] != k {
-					wseen[e] = k
-					w[e] = len(bound[e])
+				if wseen[e] != step {
+					wseen[e] = step
+					w[e] = boundSize[e]
 				}
-				w[e]--
+				w[e] -= nv[ji]
 			}
 		}
 
 		// Second pass: prune each i ∈ Lp and recompute its approximate degree
-		//   d(i) ≈ |Ai \ Lp| + |Lp \ {i}| + Σ_{e ∈ Ei} |Le \ Lp|.
-		remaining := n - k - 1
+		//   d(i) ≈ |Ai \ Lp| + |Lp \ {i}| + Σ_{e ∈ Ei} |Le \ Lp|,
+		// every term weighted by supervariable mass.
 		for _, ji := range lp {
 			i := int(ji)
 			// Ai loses everything now reachable through element p.
 			av := adj[i][:0]
+			avSize := 0
 			for _, j := range adj[i] {
-				if v := int(j); !eliminated[v] && mark[v] != k {
+				if v := int(j); !eliminated[v] && mark[v] != step {
 					av = append(av, j)
+					avSize += nv[v]
 				}
 			}
 			adj[i] = av
 			// Ei drops dead (absorbed) elements and gains p. An element whose
-			// boundary is entirely inside Lp (w == 0 ignoring i itself being
-			// counted out below) is dominated by p and absorbed.
+			// boundary is entirely inside Lp (w ≤ 0) is dominated by p and
+			// absorbed.
 			ev := elems[i][:0]
-			d := len(av) + len(lp) - 1
+			d := avSize + lpSize - nv[i]
 			for _, e := range elems[i] {
 				if deadElem[e] {
 					continue
 				}
-				if wseen[e] == k && w[e] <= 0 {
+				if wseen[e] == step && w[e] <= 0 {
 					deadElem[e] = true
 					bound[e] = nil
 					continue
 				}
 				ev = append(ev, e)
-				if wseen[e] == k {
+				if wseen[e] == step {
 					d += w[e]
 				} else {
-					d += len(bound[e])
+					d += boundSize[e]
 				}
 			}
 			elems[i] = append(ev, int32(p))
-			if d > remaining-1 {
-				d = remaining - 1
+			deg[i] = d
+		}
+
+		// Mass elimination: a boundary variable with no remaining adjacency
+		// and p as its only element is dominated by the new clique — it
+		// eliminates now, for free. lp is sorted, so the group emits in
+		// ascending index order.
+		for _, ji := range lp {
+			i := int(ji)
+			if len(adj[i]) == 0 && len(elems[i]) == 1 {
+				eliminated[i] = true
+				boundSize[p] -= nv[i]
+				elems[i] = nil
+				stats.massElim += nv[i]
+				emit(ji)
+			}
+		}
+
+		// Supervariable detection among the surviving boundary: bucket by a
+		// cheap hash of the pruned lists, then compare exactly. Equal lists
+		// mean the variables are indistinguishable from here on, so the
+		// larger index is absorbed into the smaller. (Both lists are pruned
+		// to live entries in the same chronological order, so set equality is
+		// plain elementwise equality.)
+		for _, ji := range lp {
+			i := int(ji)
+			if eliminated[i] {
+				continue
+			}
+			h := 0
+			for _, j := range adj[i] {
+				h += int(j)
+			}
+			for _, e := range elems[i] {
+				h += int(e)
+			}
+			if h < 0 {
+				h = -h
+			}
+			h %= n
+			if hseen[h] != step {
+				hseen[h] = step
+				hhead[h] = -1
+			}
+			hnext[i] = hhead[h]
+			hhead[h] = ji
+			// Compare against the earlier bucket members (all larger lp
+			// indices arrive later, so the chain holds smaller indices
+			// further down; absorption goes towards the smallest).
+			for cand := hnext[i]; cand != -1; cand = hnext[cand] {
+				c := int(cand)
+				if eliminated[c] || !int32SlicesEqual(adj[i], adj[c]) || !int32SlicesEqual(elems[i], elems[c]) {
+					continue
+				}
+				// Indistinguishable: absorb the larger index into the
+				// smaller. lp is sorted ascending, so cand < i here.
+				m := nv[i]
+				nv[c] += m
+				sub[cand] = append(sub[cand], ji)
+				stats.supervars++
+				eliminated[i] = true
+				adj[i], elems[i] = nil, nil
+				// i leaves every boundary it was in, and cand gains exactly
+				// its mass there (they share all elements), so boundary
+				// sizes are unchanged. The principal's degree shrinks by the
+				// absorbed mass (it no longer counts i as a neighbour).
+				deg[c] -= m
+				break
+			}
+		}
+
+		// Re-queue the surviving boundary with their updated degrees, capped
+		// by the remaining mass.
+		remaining := n - len(perm)
+		for _, ji := range lp {
+			i := int(ji)
+			if eliminated[i] {
+				continue
+			}
+			d := deg[i]
+			if limit := remaining - nv[i]; d > limit {
+				d = limit
 			}
 			if d < 0 {
 				d = 0
 			}
-			if d != deg[i] {
-				deg[i] = d
-				heap.push(d, i)
-			}
+			deg[i] = d
+			heap.push(d, i)
 		}
 	}
-	return perm
+	return perm, stats
+}
+
+// int32SlicesEqual reports elementwise equality.
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // degHeap is a binary min-heap over packed (degree, vertex) keys with lazy

@@ -97,6 +97,96 @@ func TestAMDBeatsRCMOnIrregularGraphs(t *testing.T) {
 	}
 }
 
+// TestAMDMassElimination pins the mass-elimination path: in a clique glued
+// onto an otherwise empty graph, the first clique pivot dominates the rest,
+// so the whole clique must be emitted contiguously (and the stats must show
+// the free eliminations happened).
+func TestAMDMassElimination(t *testing.T) {
+	const n, lo, hi = 12, 3, 9 // clique on vertices [3, 9)
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+	}
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < hi; j++ {
+			coo.AddSym(i, j, -1)
+		}
+	}
+	p, stats := amdOrder(coo.ToCSR())
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.massElim == 0 {
+		t.Error("eliminating a clique performed no mass eliminations")
+	}
+	pos := map[int]int{}
+	for idx, v := range p {
+		pos[v] = idx
+	}
+	minPos, maxPos := n, -1
+	for v := lo; v < hi; v++ {
+		if pos[v] < minPos {
+			minPos = pos[v]
+		}
+		if pos[v] > maxPos {
+			maxPos = pos[v]
+		}
+	}
+	if maxPos-minPos != hi-lo-1 {
+		t.Errorf("clique members are not contiguous in the ordering: %v", p)
+	}
+}
+
+// TestAMDSupervariableDetection pins the indistinguishable-node merge: the
+// saddle multiplier rows couple disjoint runs of grid vertices, which leaves
+// the grid full of twins once elimination starts. The stats must show
+// supervariables forming, and the quality tests above already pin that the
+// fill stays at least as good.
+func TestAMDSupervariableDetection(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"saddle-20x20", sparse.SaddlePoisson2D(20, 20, 1e-2).A},
+		{"poisson-24x24", sparse.Poisson2D(24, 24, 0.05).A},
+	} {
+		_, stats := amdOrder(tc.a)
+		if stats.supervars == 0 {
+			t.Errorf("%s: no supervariables detected", tc.name)
+		}
+	}
+}
+
+// TestAMDSupervariablesKeepQuality compares fill with and without the
+// supervariable fast path engaged in spirit: the ordering must stay within
+// the natural-order fill (already pinned above) and must still be exact on a
+// matrix whose pattern makes every vertex a twin — a block-diagonal matrix of
+// dense blocks must order with zero extra fill.
+func TestAMDSupervariablesKeepQuality(t *testing.T) {
+	const blocks, bs = 6, 5
+	n := blocks * bs
+	coo := sparse.NewCOO(n, n)
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < bs; i++ {
+			coo.Add(b*bs+i, b*bs+i, float64(bs))
+			for j := i + 1; j < bs; j++ {
+				coo.AddSym(b*bs+i, b*bs+j, -0.5)
+			}
+		}
+	}
+	a := coo.ToCSR()
+	ldlt, err := NewLDLT(a, OrderAMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense blocks are already cliques: the factor's strictly-lower count per
+	// block is bs·(bs-1)/2 no matter the order, so any extra fill is a bug.
+	want := blocks * bs * (bs - 1) / 2
+	if ldlt.NNZL() != want {
+		t.Errorf("block-diagonal AMD fill %d, want the clique minimum %d", ldlt.NNZL(), want)
+	}
+}
+
 func TestOrderAutoPolicy(t *testing.T) {
 	// Bounded-degree grid stencil → RCM.
 	grid := sparse.Poisson2D(24, 24, 0.05).A

@@ -20,9 +20,17 @@
 //     the same per-block ordering policy; it factorises the symmetric blocks
 //     that are merely SNND or indefinite (saddle points, shifted Laplacians)
 //     at sparse cost, removing the last reason a huge block had to densify.
+//   - "sparse-supernodal" — the blocked factorisation covering both symmetric
+//     cases under one name (Cholesky for SPD blocks, LDLᵀ otherwise): columns
+//     group into supernodes on the postordered elimination tree, every
+//     supernode factorises as a dense trapezoidal panel with register-blocked
+//     rank-k updates, and independent elimination subtrees factorise
+//     concurrently on a bounded worker pool — deterministically, at every
+//     GOMAXPROCS. The fastest backend for large sparse blocks.
 //   - "auto" — picks a backend by size and density and performs the fallback
 //     chain sparse-Cholesky → ErrNotPositiveDefinite → sparse-LDLᵀ → dense LU
-//     (dense-Cholesky → dense-LU for small blocks).
+//     (dense-Cholesky → dense-LU for small blocks; both sparse roles are
+//     played by "sparse-supernodal" for blocks of ≥ 800 unknowns).
 //
 // Every backend is deterministic: for a fixed backend name and input matrix
 // the factor and all solves are byte-identical run over run, which the DES
@@ -41,11 +49,12 @@ import (
 
 // Backend names understood by New. Auto is the package default.
 const (
-	DenseCholesky  = "dense-cholesky"
-	DenseLU        = "dense-lu"
-	SparseCholesky = "sparse-cholesky"
-	SparseLDLT     = "sparse-ldlt"
-	Auto           = "auto"
+	DenseCholesky    = "dense-cholesky"
+	DenseLU          = "dense-lu"
+	SparseCholesky   = "sparse-cholesky"
+	SparseLDLT       = "sparse-ldlt"
+	SparseSupernodal = "sparse-supernodal"
+	Auto             = "auto"
 )
 
 // ErrNotPositiveDefinite is returned by the Cholesky backends when a pivot is
@@ -107,6 +116,7 @@ func init() {
 	Register(DenseLU, newDenseLU)
 	Register(SparseCholesky, newSparseCholeskyBackend)
 	Register(SparseLDLT, newSparseLDLTBackend)
+	Register(SparseSupernodal, newSparseSupernodalBackend)
 	Register(Auto, newAuto)
 }
 
@@ -231,12 +241,46 @@ func newSparseLDLTBackend(a *sparse.CSR) (LocalSolver, error) {
 	return NewLDLT(a, OrderAuto)
 }
 
+// newSparseSupernodalBackend covers both symmetric factorisations with one
+// name: Cholesky when the matrix turns out SPD, LDLᵀ otherwise. A non-positive
+// diagonal entry proves non-positive-definiteness up front (xᵀAx ≤ 0 for a
+// unit vector), so that case skips the doomed Cholesky attempt entirely.
+func newSparseSupernodalBackend(a *sparse.CSR) (LocalSolver, error) {
+	if !hasPosDiag(a) {
+		return NewSupernodal(a, OrderAuto, ModeLDLT)
+	}
+	s, err := NewSupernodal(a, OrderAuto, ModeCholesky)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		return nil, err
+	}
+	return NewSupernodal(a, OrderAuto, ModeLDLT)
+}
+
+// hasPosDiag reports whether every diagonal entry of a is strictly positive —
+// a necessary condition for positive definiteness that is cheap to test.
+func hasPosDiag(a *sparse.CSR) bool {
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		if a.At(i, i) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Auto policy thresholds: blocks below autoSparseMinDim solve fastest with
 // the cache-friendly dense kernels; above it, a block whose density is below
-// autoMaxDensity is factorised sparsely.
+// autoMaxDensity is factorised sparsely — with the scalar up-looking kernels
+// up to autoSupernodalMinDim unknowns, and with the supernodal blocked
+// kernels beyond (below that the panel machinery costs more than the dense
+// sub-blocks recover).
 const (
-	autoSparseMinDim = 200
-	autoMaxDensity   = 0.25
+	autoSparseMinDim     = 200
+	autoMaxDensity       = 0.25
+	autoSupernodalMinDim = 800
 )
 
 // autoPicksSparse reports whether the auto policy factorises an n-dimensional
@@ -255,13 +299,29 @@ func autoPicksSparse(n, nnz int) bool {
 
 // newAuto picks a backend by size and density — the single home of the
 // non-SPD fallback previously copy-pasted across core and iterative. On the
-// sparse path the chain is sparse-Cholesky → ErrNotPositiveDefinite →
-// sparse-LDLᵀ → dense LU, so a block that is both huge and merely SNND now
-// factorises sparsely instead of dying at ErrDenseTooLarge; on the dense path
-// (small blocks) it stays dense-Cholesky → dense LU.
+// sparse path the chain is sparse Cholesky → ErrNotPositiveDefinite → sparse
+// LDLᵀ → dense LU (with the supernodal blocked backend playing both sparse
+// roles for blocks of autoSupernodalMinDim unknowns and up), so a block that
+// is both huge and merely SNND factorises sparsely instead of dying at
+// ErrDenseTooLarge; on the dense path (small blocks) it stays dense-Cholesky
+// → dense LU.
 func newAuto(a *sparse.CSR) (LocalSolver, error) {
 	n := a.Rows()
 	sparsePath := autoPicksSparse(n, a.NNZ())
+	if sparsePath && n >= autoSupernodalMinDim {
+		// The supernodal backend runs its own Cholesky → LDLᵀ chain; only a
+		// numerically singular block (zero diagonal pivots) falls out, and
+		// dense LU's row pivoting is the last resort for those.
+		s, err := New(SparseSupernodal, a)
+		if err == nil {
+			return s, nil
+		}
+		lu, luErr := New(DenseLU, a)
+		if luErr != nil {
+			return nil, fmt.Errorf("factor: auto fallback after %v: %w", err, luErr)
+		}
+		return lu, nil
+	}
 	chol := DenseCholesky
 	if sparsePath {
 		chol = SparseCholesky

@@ -101,8 +101,8 @@ func TestDenseGuard(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Auto on huge sparse identity: %v", err)
 	}
-	if s.Backend() != SparseCholesky {
-		t.Errorf("Auto picked %q beyond the dense cap, want %q", s.Backend(), SparseCholesky)
+	if s.Backend() != SparseSupernodal {
+		t.Errorf("Auto picked %q beyond the dense cap, want %q", s.Backend(), SparseSupernodal)
 	}
 	b := sparse.NewVec(n)
 	b.Fill(3)

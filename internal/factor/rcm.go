@@ -46,14 +46,13 @@ func (p Perm) IsIdentity() bool {
 
 // PermuteSym returns C = A(perm, perm): C(i, j) = A(perm[i], perm[j]). The
 // pattern-symmetric matrices the Cholesky backends consume stay symmetric.
+// It delegates to the linear-time counting permute of the sparse package —
+// every sparse factorisation permutes its block, so this is hot-path code.
 func PermuteSym(a *sparse.CSR, p Perm) *sparse.CSR {
 	if a.Rows() != a.Cols() || len(p) != a.Rows() {
 		panic(fmt.Sprintf("factor: PermuteSym of %dx%d matrix with %d-permutation", a.Rows(), a.Cols(), len(p)))
 	}
-	inv := p.Inverse()
-	coo := sparse.NewCOO(a.Rows(), a.Cols())
-	a.Each(func(i, j int, v float64) { coo.Add(inv[i], inv[j], v) })
-	return coo.ToCSR()
+	return a.PermuteSym(p)
 }
 
 // RCM computes the reverse Cuthill–McKee ordering of the symmetric sparsity

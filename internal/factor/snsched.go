@@ -1,0 +1,171 @@
+package factor
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// Parallel elimination-subtree scheduling. The postordered supernodal
+// elimination tree makes every subtree a contiguous supernode range, and the
+// left-looking numeric phase makes every supernode depend only on supernodes
+// inside its own subtree — so disjoint subtrees factorise concurrently with
+// zero synchronisation beyond task dispatch. The scheduler cuts the tree at a
+// flop threshold (a level set in work, not depth): maximal subtrees whose
+// estimated work fits under the threshold become tasks for a bounded worker
+// pool, everything above the cut (the top of the tree, where dependencies
+// concentrate) runs sequentially afterwards. Small problems skip the pool
+// entirely. Numerics are byte-identical for every GOMAXPROCS because each
+// supernode's update order is fixed by the symbolic phase, not by execution
+// order.
+const (
+	// snMaxWorkers bounds the worker pool regardless of GOMAXPROCS.
+	snMaxWorkers = 8
+	// snParallelMinFlops is the estimated factorisation cost under which
+	// spawning workers costs more than it saves.
+	snParallelMinFlops = 8e6
+	// snTaskFanout targets this many tasks per worker so uneven subtrees
+	// still balance.
+	snTaskFanout = 4
+)
+
+// snTask is one independent elimination subtree: the contiguous supernode
+// range [lo, hi).
+type snTask struct{ lo, hi int32 }
+
+// scheduleTasks partitions the supernodes into independent subtree tasks and
+// the sequential top. It returns a nil task list when the factorisation
+// should run sequentially (too little work, or no way to cut at least two
+// tasks).
+func scheduleTasks(sym *snSym, workers int) (tasks []snTask, top []int32) {
+	ns := sym.ns
+	if workers <= 1 || ns < 2 {
+		return nil, nil
+	}
+	// Subtree flops and sizes, accumulated child-to-parent (children precede
+	// parents in the postorder).
+	subFlops := make([]float64, ns)
+	subSize := make([]int32, ns)
+	total := 0.0
+	for s := 0; s < ns; s++ {
+		subFlops[s] += sym.flops[s]
+		subSize[s]++
+		total += sym.flops[s]
+		if p := sym.sparent[s]; p != -1 {
+			subFlops[p] += subFlops[s]
+			subSize[p] += subSize[s]
+		}
+	}
+	if total < snParallelMinFlops {
+		return nil, nil
+	}
+	threshold := total / float64(snTaskFanout*workers)
+
+	// Task roots: maximal subtrees under the threshold.
+	inTask := make([]bool, ns)
+	for s := 0; s < ns; s++ {
+		if inTask[s] || subFlops[s] > threshold {
+			continue
+		}
+		if p := sym.sparent[s]; p != -1 && subFlops[p] <= threshold {
+			continue // the parent's subtree is also under threshold; take it instead
+		}
+		lo := int32(s) - subSize[s] + 1
+		tasks = append(tasks, snTask{lo: lo, hi: int32(s) + 1})
+		for t := lo; t <= int32(s); t++ {
+			inTask[t] = true
+		}
+	}
+	if len(tasks) < 2 {
+		return nil, nil
+	}
+	for s := 0; s < ns; s++ {
+		if !inTask[s] {
+			top = append(top, int32(s))
+		}
+	}
+	return tasks, top
+}
+
+// factorAll runs the numeric phase: assemble and factorise every supernode,
+// concurrently over independent subtrees when the scheduler cut some, then
+// the sequential top. The first error in task order (which equals ascending
+// supernode order, making the reported pivot deterministic) wins.
+func (s *Supernodal) factorAll(c *sparse.CSR, sym *snSym) error {
+	pivTol := 0.0
+	if s.mode == ModeLDLT {
+		pivTol = ldltPivotRelTol * c.MaxAbs()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > snMaxWorkers {
+		workers = snMaxWorkers
+	}
+	tasks, top := scheduleTasks(sym, workers)
+	s.tasks, s.workers = len(tasks), 1
+
+	if len(tasks) == 0 {
+		return s.factorSequential(c, sym, pivTol)
+	}
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	s.workers = workers
+	errs := make([]error, len(tasks))
+	next := make(chan int, len(tasks))
+	for t := range tasks {
+		next <- t
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := newSnWorker(s.n)
+			for t := range next {
+				task := tasks[t]
+				for sn := task.lo; sn < task.hi; sn++ {
+					if err := s.factorSupernode(int(sn), c, sym, wk, pivTol); err != nil {
+						errs[t] = err
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// A subtree hit a bad pivot. Re-run sequentially so the reported
+			// pivot is the same one every GOMAXPROCS setting reports (the
+			// failure path is cold: the auto policy immediately retries in
+			// LDLᵀ mode or falls back to dense LU).
+			seqErr := s.factorSequential(c, sym, pivTol)
+			if seqErr != nil {
+				return seqErr
+			}
+			return err // unreachable: the same supernode fails deterministically
+		}
+	}
+	wk := newSnWorker(s.n)
+	for _, sn := range top {
+		if err := s.factorSupernode(int(sn), c, sym, wk, pivTol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// factorSequential is the plain ascending-order numeric pass: every supernode
+// in turn on one scratch, stopping at the first bad pivot.
+func (s *Supernodal) factorSequential(c *sparse.CSR, sym *snSym, pivTol float64) error {
+	wk := newSnWorker(s.n)
+	for sn := 0; sn < s.ns; sn++ {
+		if err := s.factorSupernode(sn, c, sym, wk, pivTol); err != nil {
+			return err
+		}
+	}
+	return nil
+}

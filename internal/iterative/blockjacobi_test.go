@@ -54,7 +54,7 @@ func TestBlockJacobiExplicitBackends(t *testing.T) {
 	sys := sparse.Poisson2D(12, 12, 0.05)
 	assign := partition.Strips(sys.Dim(), 4)
 	var ref sparse.Vec
-	for _, backend := range []string{factor.DenseCholesky, factor.SparseCholesky, factor.SparseLDLT, factor.Auto} {
+	for _, backend := range []string{factor.DenseCholesky, factor.SparseCholesky, factor.SparseLDLT, factor.SparseSupernodal, factor.Auto} {
 		x, st, err := BlockJacobi(sys.A, sys.B, assign, Config{
 			MaxIterations: 4000, Tol: 1e-10, LocalSolver: backend,
 		})

@@ -37,8 +37,10 @@ type Config struct {
 	// Exact, when non-nil, records an RMS-error trace.
 	Exact sparse.Vec
 	// LocalSolver selects the internal/factor backend the block methods
-	// factorise their diagonal blocks with; empty selects the package
-	// default. The point methods (Jacobi, Gauss-Seidel, SOR, CG) ignore it.
+	// factorise their diagonal blocks with ("dense-cholesky", "dense-lu",
+	// "sparse-cholesky", "sparse-ldlt", "sparse-supernodal" or "auto"); empty
+	// selects the package default. The point methods (Jacobi, Gauss-Seidel,
+	// SOR, CG) ignore it.
 	LocalSolver string
 }
 

@@ -153,6 +153,70 @@ func (m *CSR) Transpose() *CSR {
 	return coo.ToCSR()
 }
 
+// PermuteSym returns B = A(p, p), i.e. B(i, j) = A(p[i], p[j]), for a square
+// matrix and a permutation in the perm[new] = old convention. It runs in
+// O(nnz) with two counting passes (no comparison sort): the first pass builds
+// Bᵀ with sorted rows by scanning B's rows in ascending order, the second
+// transposes it back the same way. The factorisation backends permute every
+// block they reorder, so this is on the factor-once hot path.
+func (m *CSR) PermuteSym(p []int) *CSR {
+	n := m.rows
+	if m.cols != n || len(p) != n {
+		panic(fmt.Sprintf("sparse: PermuteSym of %dx%d matrix with %d-permutation", m.rows, m.cols, len(p)))
+	}
+	inv := make([]int, n)
+	for newIdx, oldIdx := range p {
+		inv[oldIdx] = newIdx
+	}
+	nnz := len(m.vals)
+
+	// Pass 1: build T = Bᵀ. Scanning new rows i in ascending order and
+	// appending each entry (i, inv[c]) to T's row inv[c] leaves every T row
+	// with ascending column indices.
+	tPtr := make([]int, n+1)
+	for _, c := range m.colIdx {
+		tPtr[inv[c]+1]++
+	}
+	for i := 0; i < n; i++ {
+		tPtr[i+1] += tPtr[i]
+	}
+	tCol := make([]int, nnz)
+	tVal := make([]float64, nnz)
+	tFill := make([]int, n)
+	copy(tFill, tPtr[:n])
+	for i := 0; i < n; i++ {
+		old := p[i]
+		for q := m.rowPtr[old]; q < m.rowPtr[old+1]; q++ {
+			r := inv[m.colIdx[q]]
+			tCol[tFill[r]] = i
+			tVal[tFill[r]] = m.vals[q]
+			tFill[r]++
+		}
+	}
+
+	// Pass 2: transpose T back into B; scanning T's rows in order sorts B's.
+	bPtr := make([]int, n+1)
+	for _, c := range tCol {
+		bPtr[c+1]++
+	}
+	for i := 0; i < n; i++ {
+		bPtr[i+1] += bPtr[i]
+	}
+	bCol := make([]int, nnz)
+	bVal := make([]float64, nnz)
+	bFill := make([]int, n)
+	copy(bFill, bPtr[:n])
+	for i := 0; i < n; i++ {
+		for q := tPtr[i]; q < tPtr[i+1]; q++ {
+			r := tCol[q]
+			bCol[bFill[r]] = i
+			bVal[bFill[r]] = tVal[q]
+			bFill[r]++
+		}
+	}
+	return &CSR{rows: n, cols: n, rowPtr: bPtr, colIdx: bCol, vals: bVal}
+}
+
 // Scale returns a*A as a new matrix.
 func (m *CSR) Scale(a float64) *CSR {
 	coo := NewCOO(m.rows, m.cols)

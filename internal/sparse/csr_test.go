@@ -439,3 +439,54 @@ func TestReadMatrixErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCSRPermuteSym checks the linear-time symmetric permute against the
+// definition B(i,j) = A(p[i], p[j]) on a random pattern-symmetric (but
+// numerically unsymmetric) matrix, and that the produced rows are sorted.
+func TestCSRPermuteSym(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(7))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, rng.NormFloat64())
+	}
+	for k := 0; k < 4*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		// Pattern-symmetric, value-unsymmetric: PermuteSym must not mix the
+		// (i,j) and (j,i) values up.
+		coo.Add(i, j, rng.NormFloat64())
+		coo.Add(j, i, rng.NormFloat64())
+	}
+	a := coo.ToCSR()
+
+	p := rng.Perm(n)
+	b := a.PermuteSym(p)
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("PermuteSym changed nnz: %d vs %d", b.NNZ(), a.NNZ())
+	}
+	for i := 0; i < n; i++ {
+		cols, _ := b.RowView(i)
+		for t2 := 1; t2 < len(cols); t2++ {
+			if cols[t2-1] >= cols[t2] {
+				t.Fatalf("row %d of the permuted matrix is not sorted: %v", i, cols)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if got, want := b.At(i, j), a.At(p[i], p[j]); got != want {
+				t.Fatalf("B(%d,%d) = %g, want A(p,p) = %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCSRPermuteSymPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PermuteSym with a short permutation did not panic")
+		}
+	}()
+	Identity(4).PermuteSym([]int{0, 1})
+}
