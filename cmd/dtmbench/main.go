@@ -38,6 +38,7 @@ func main() {
 		list        = flag.Bool("list", false, "list the available experiments")
 		benchjson   = flag.String("benchjson", "", "measure the hot-path experiments and write machine-readable results to this JSON file")
 		localSolver = flag.String("localsolver", "", fmt.Sprintf("local-factorisation backend every experiment's subdomain/block solves use: one of %v (default %q)", factor.Backends(), factor.Default()))
+		ordering    = flag.String("ordering", "", "fill-reducing ordering every sparse factorisation uses: natural, rcm, amd, nd or auto (default: auto)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
@@ -47,6 +48,18 @@ func main() {
 		// The experiments construct their own option structs; steering the
 		// factor package default reaches every one of them at once.
 		if err := factor.SetDefault(*localSolver); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *ordering != "" {
+		// Same trick for the fill-reducing ordering: the registered sparse
+		// backends all consult the package default.
+		ord, err := factor.ParseOrdering(*ordering)
+		if err == nil {
+			err = factor.SetDefaultOrdering(ord)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dtmbench: %v\n", err)
 			os.Exit(2)
 		}

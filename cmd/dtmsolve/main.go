@@ -45,6 +45,7 @@ type options struct {
 	maxIter     int
 	tol         float64
 	localSolver string
+	ordering    string
 	printX      bool
 }
 
@@ -65,12 +66,24 @@ func main() {
 	flag.IntVar(&o.maxIter, "maxiter", 5000, "iteration bound for the discrete-time solvers")
 	flag.Float64Var(&o.tol, "tol", 1e-8, "stopping tolerance")
 	flag.StringVar(&o.localSolver, "localsolver", "", fmt.Sprintf("local-factorisation backend for the block/subdomain solvers: one of %v (default: the factor package default, %q)", factor.Backends(), factor.Default()))
+	flag.StringVar(&o.ordering, "ordering", "", "fill-reducing ordering the sparse backends use: natural, rcm, amd, nd or auto (default: auto — nd/rcm for grid stencils by size, amd for irregular patterns)")
 	flag.BoolVar(&o.printX, "print-x", false, "print the solution vector")
 	flag.Parse()
 
 	if o.localSolver != "" && !factor.Known(o.localSolver) {
 		fmt.Fprintf(os.Stderr, "dtmsolve: unknown local solver %q (have %v)\n", o.localSolver, factor.Backends())
 		os.Exit(2)
+	}
+	if o.ordering != "" {
+		ord, err := factor.ParseOrdering(o.ordering)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
+			os.Exit(2)
+		}
+		if err := factor.SetDefaultOrdering(ord); err != nil {
+			fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
@@ -294,13 +307,13 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		case *factor.Cholesky:
 			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d)", f.Ordering(), f.NNZL())
 		case *factor.LDLT:
-			pos, neg := f.Inertia()
-			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d, inertia %d+/%d-)", f.Ordering(), f.NNZL(), pos, neg)
+			pos, neg, zero := f.Inertia()
+			summary += fmt.Sprintf(" (%s ordering, nnz(L)=%d, inertia %d+/%d-/%d0)", f.Ordering(), f.NNZL(), pos, neg, zero)
 		case *factor.Supernodal:
-			pos, neg := f.Inertia()
+			pos, neg, zero := f.Inertia()
 			tasks, workers := f.Parallelism()
-			summary += fmt.Sprintf(" (%s mode, %s ordering, %d supernodes, nnz(L)=%d, inertia %d+/%d-, %d subtree tasks on %d workers)",
-				f.Mode(), f.Ordering(), f.Supernodes(), f.NNZL(), pos, neg, tasks, workers)
+			summary += fmt.Sprintf(" (%s mode, %s ordering, %d supernodes, nnz(L)=%d, inertia %d+/%d-/%d0, %d subtree tasks on %d workers)",
+				f.Mode(), f.Ordering(), f.Supernodes(), f.NNZL(), pos, neg, zero, tasks, workers)
 		}
 		return x, summary, nil
 	case "cg":

@@ -10,7 +10,7 @@
 //   - internal/factor — the pluggable local-factorisation subsystem: one
 //     LocalSolver interface over the registered backends dense-cholesky,
 //     dense-lu, sparse-cholesky and sparse-ldlt (up-looking factorisations
-//     with per-block RCM/AMD fill-reducing orderings) and sparse-supernodal
+//     with per-block ND/RCM/AMD fill-reducing orderings) and sparse-supernodal
 //     (blocked trapezoidal panels over the postordered elimination tree,
 //     with independent subtrees factorised in parallel, deterministically),
 //     plus the auto policy every subdomain and block solver uses, whose

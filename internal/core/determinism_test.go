@@ -41,46 +41,65 @@ func TestSolveDTMDeterminism(t *testing.T) {
 		return res
 	}
 
+	compare := func(t *testing.T, a, b *Result) {
+		t.Helper()
+		if a.Solves != b.Solves {
+			t.Errorf("Solves differ: %d vs %d", a.Solves, b.Solves)
+		}
+		if a.Messages != b.Messages {
+			t.Errorf("Messages differ: %d vs %d", a.Messages, b.Messages)
+		}
+		if a.FinalTime != b.FinalTime {
+			t.Errorf("FinalTime differs: %g vs %g", a.FinalTime, b.FinalTime)
+		}
+		if a.TwinGap != b.TwinGap {
+			t.Errorf("TwinGap differs: %g vs %g", a.TwinGap, b.TwinGap)
+		}
+		if len(a.X) != len(b.X) {
+			t.Fatalf("X lengths differ: %d vs %d", len(a.X), len(b.X))
+		}
+		for i := range a.X {
+			if a.X[i] != b.X[i] {
+				t.Fatalf("X[%d] differs: %g vs %g", i, a.X[i], b.X[i])
+			}
+		}
+		if len(a.Trace) != len(b.Trace) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+		}
+		for i := range a.Trace {
+			if a.Trace[i] != b.Trace[i] {
+				t.Fatalf("trace point %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+			}
+		}
+		if !a.Converged {
+			t.Errorf("run did not converge: %+v", a)
+		}
+	}
+
 	for _, backend := range []string{"", factor.DenseCholesky, factor.SparseCholesky, factor.SparseLDLT, factor.SparseSupernodal, factor.Auto} {
 		name := backend
 		if name == "" {
 			name = "default"
 		}
 		t.Run(name, func(t *testing.T) {
-			a, b := run(backend), run(backend)
-			if a.Solves != b.Solves {
-				t.Errorf("Solves differ: %d vs %d", a.Solves, b.Solves)
-			}
-			if a.Messages != b.Messages {
-				t.Errorf("Messages differ: %d vs %d", a.Messages, b.Messages)
-			}
-			if a.FinalTime != b.FinalTime {
-				t.Errorf("FinalTime differs: %g vs %g", a.FinalTime, b.FinalTime)
-			}
-			if a.TwinGap != b.TwinGap {
-				t.Errorf("TwinGap differs: %g vs %g", a.TwinGap, b.TwinGap)
-			}
-			if len(a.X) != len(b.X) {
-				t.Fatalf("X lengths differ: %d vs %d", len(a.X), len(b.X))
-			}
-			for i := range a.X {
-				if a.X[i] != b.X[i] {
-					t.Fatalf("X[%d] differs: %g vs %g", i, a.X[i], b.X[i])
-				}
-			}
-			if len(a.Trace) != len(b.Trace) {
-				t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
-			}
-			for i := range a.Trace {
-				if a.Trace[i] != b.Trace[i] {
-					t.Fatalf("trace point %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
-				}
-			}
-			if !a.Converged {
-				t.Errorf("run did not converge: %+v", a)
-			}
+			compare(t, run(backend), run(backend))
 		})
 	}
+
+	// The same contract with the fill-reducing ordering forced to nested
+	// dissection, so the ND code path (bushy etrees, parallel subtree
+	// factorisation) is under the byte-identical DES guarantee too.
+	t.Run("supernodal-nd-ordering", func(t *testing.T) {
+		if err := factor.SetDefaultOrdering(factor.OrderND); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := factor.SetDefaultOrdering(factor.OrderAuto); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		compare(t, run(factor.SparseSupernodal), run(factor.SparseSupernodal))
+	})
 }
 
 // TestIncrementalTwinGapMatchesFullScan verifies, after a DTM run, that the

@@ -106,6 +106,21 @@ type ScaleSparseRow struct {
 	ScalarFactorMS float64 // scalar up-looking sparse Cholesky, for comparison
 	ScalarSpeedup  float64 // scalar factor time / auto factor time
 
+	// The ordering comparison: the same system analysed symbolically under
+	// the banded RCM ordering and under nested dissection, so the ND fill,
+	// flop and subtree-parallelism gains are measured columns rather than
+	// claims. Task counts are for a full worker pool (a property of the
+	// ordering, not the machine); 0 means the scheduler stays sequential.
+	// OrdStatus is "" when the comparison was not attempted (the auto policy
+	// stayed off the supernodal backend at this size).
+	OrdStatus string
+	NDNNZL    int
+	NDFlops   float64
+	NDTasks   int
+	RCMNNZL   int
+	RCMFlops  float64
+	RCMTasks  int
+
 	DenseBytes     int64 // what the dense backend would have to allocate
 	DenseStatus    string
 	DenseFactorMS  float64 // only when the dense backend was actually run
@@ -133,6 +148,7 @@ type ScaleSparseNonSPD struct {
 	Supernodes         int
 	PosPivots          int
 	NegPivots          int
+	ZeroPivots         int
 	FactorMS, SolveMS  float64
 	Residual           float64
 	DenseBytes         int64
@@ -193,6 +209,25 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 			row.ScalarStatus = "ok"
 		}
 
+		// The ordering comparison: the same grid analysed supernodally under
+		// RCM (banded, path etree, sequential) and under nested dissection
+		// (separator fill, bushy etree, parallel subtrees). Symbolic phase
+		// only — fill, flops and the subtree-task cut are all decided there,
+		// so the comparison costs milliseconds, stays out of the measured
+		// factor/solve times, and reports the same task counts on every
+		// machine. Run wherever the auto policy picked the supernodal backend
+		// — the sizes where ordering quality decides the factorisation cost.
+		if row.Backend == factor.SparseSupernodal {
+			rcm, rerr := factor.AnalyzeSupernodal(sys.A, factor.OrderRCM)
+			nd, nerr := factor.AnalyzeSupernodal(sys.A, factor.OrderND)
+			if rerr != nil || nerr != nil {
+				return nil, fmt.Errorf("experiments: ordering comparison at n=%d: rcm %v, nd %v", n, rerr, nerr)
+			}
+			row.OrdStatus = "ok"
+			row.RCMNNZL, row.RCMFlops, row.RCMTasks = rcm.NNZL, rcm.Flops, rcm.Tasks
+			row.NDNNZL, row.NDFlops, row.NDTasks = nd.NNZL, nd.Flops, nd.Tasks
+		}
+
 		switch {
 		case n <= p.DenseAttemptMax:
 			start = time.Now()
@@ -242,12 +277,12 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 			leg.Ordering = f.Ordering().String()
 			leg.Mode = f.Mode().String()
 			leg.Supernodes = f.Supernodes()
-			leg.PosPivots, leg.NegPivots = f.Inertia()
+			leg.PosPivots, leg.NegPivots, leg.ZeroPivots = f.Inertia()
 		case *factor.LDLT:
 			leg.NNZL = f.NNZL()
 			leg.Ordering = f.Ordering().String()
 			leg.Mode = "ldlt"
-			leg.PosPivots, leg.NegPivots = f.Inertia()
+			leg.PosPivots, leg.NegPivots, leg.ZeroPivots = f.Inertia()
 		}
 		x := sparse.NewVec(n)
 		start = time.Now()
@@ -310,12 +345,18 @@ func (r *ScaleSparseResult) Render(w io.Writer) error {
 			fmt.Fprintf(w, " (%.1fms, %.1fx the sparse factor)", row.DenseFactorMS, row.DenseSpeedupVs)
 		}
 		fmt.Fprintln(w)
+		if row.OrdStatus == "ok" {
+			fmt.Fprintf(w, "%8s nd vs rcm: nnz(L) %d vs %d (%.2fx), flops %.3g vs %.3g (%.2fx), subtree tasks %d vs %d\n",
+				"", row.NDNNZL, row.RCMNNZL, float64(row.NDNNZL)/float64(row.RCMNNZL),
+				row.NDFlops, row.RCMFlops, row.NDFlops/row.RCMFlops,
+				max(row.NDTasks, 1), max(row.RCMTasks, 1))
+		}
 	}
 	if r.NonSPD != nil {
 		l := r.NonSPD
 		fmt.Fprintf(w, "\nnon-SPD leg (symmetric quasi-definite saddle system): n=%d, nnz=%d\n", l.N, l.NNZ)
-		fmt.Fprintf(w, "  auto picked %s in %s mode (%s ordering, %d supernodes): nnz(L)=%d, inertia (%d+, %d-), factor %.1fms, solve %.3fms, relative residual %.3g\n",
-			l.Backend, l.Mode, l.Ordering, l.Supernodes, l.NNZL, l.PosPivots, l.NegPivots, l.FactorMS, l.SolveMS, l.Residual)
+		fmt.Fprintf(w, "  auto picked %s in %s mode (%s ordering, %d supernodes): nnz(L)=%d, inertia (%d+, %d-, %d zero), factor %.1fms, solve %.3fms, relative residual %.3g\n",
+			l.Backend, l.Mode, l.Ordering, l.Supernodes, l.NNZL, l.PosPivots, l.NegPivots, l.ZeroPivots, l.FactorMS, l.SolveMS, l.Residual)
 		if !l.DenseWouldAllocate {
 			fmt.Fprintf(w, "  the pre-LDLT fallback chain could not run this system at all: dense LU would need %.1f GiB > cap\n",
 				float64(l.DenseBytes)/(1<<30))

@@ -11,11 +11,11 @@
 //   - "dense-lu" — dense.LU with partial pivoting; the fallback for blocks
 //     that are merely SNND (so Cholesky fails by a hair) or unsymmetric.
 //   - "sparse-cholesky" — the sparse up-looking Cholesky of this package with
-//     a fill-reducing ordering picked per block (reverse Cuthill–McKee for
-//     grid-like patterns, approximate minimum degree for irregular ones);
-//     memory and factor time scale with nnz(L), which for grid Laplacians is
-//     O(n·bandwidth) instead of O(n²), unlocking subdomain sizes that are
-//     flatly infeasible dense.
+//     a fill-reducing ordering picked per block (nested dissection for large
+//     grid-like patterns, reverse Cuthill–McKee for small ones, approximate
+//     minimum degree for irregular ones); memory and factor time scale with
+//     nnz(L), which for grid Laplacians is far below O(n²), unlocking
+//     subdomain sizes that are flatly infeasible dense.
 //   - "sparse-ldlt" — the sparse up-looking LDLᵀ with 1×1 diagonal pivots and
 //     the same per-block ordering policy; it factorises the symmetric blocks
 //     that are merely SNND or indefinite (saddle points, shifted Laplacians)
@@ -80,10 +80,12 @@ var ErrDenseTooLarge = errors.New("factor: matrix too large to factorise densely
 var MaxDenseBytes int64 = 2 << 30
 
 // LocalSolver is the factor-once/solve-many contract every backend satisfies.
-// SolveTo must be deterministic and must tolerate x aliasing b. A LocalSolver
-// is safe for use from one goroutine at a time (the sparse backend keeps a
-// permutation scratch buffer), matching how the DES and live engines confine
-// each subdomain.
+// SolveTo must be deterministic, must tolerate x aliasing b, and must be
+// reentrant: concurrent SolveTo calls on one factor (into distinct x vectors)
+// are safe and produce the same bytes a sequential caller would see — the
+// sparse backends draw their permutation/gather scratch from a per-call pool,
+// the dense ones write only into the caller's vectors. This is what lets a
+// factored subdomain serve many solve streams at once.
 type LocalSolver interface {
 	// Dim returns the dimension of the factorised matrix.
 	Dim() int
@@ -234,11 +236,11 @@ func newDenseLU(a *sparse.CSR) (LocalSolver, error) {
 }
 
 func newSparseCholeskyBackend(a *sparse.CSR) (LocalSolver, error) {
-	return NewCholesky(a, OrderAuto)
+	return NewCholesky(a, DefaultOrdering())
 }
 
 func newSparseLDLTBackend(a *sparse.CSR) (LocalSolver, error) {
-	return NewLDLT(a, OrderAuto)
+	return NewLDLT(a, DefaultOrdering())
 }
 
 // newSparseSupernodalBackend covers both symmetric factorisations with one
@@ -246,17 +248,18 @@ func newSparseLDLTBackend(a *sparse.CSR) (LocalSolver, error) {
 // diagonal entry proves non-positive-definiteness up front (xᵀAx ≤ 0 for a
 // unit vector), so that case skips the doomed Cholesky attempt entirely.
 func newSparseSupernodalBackend(a *sparse.CSR) (LocalSolver, error) {
+	order := DefaultOrdering()
 	if !hasPosDiag(a) {
-		return NewSupernodal(a, OrderAuto, ModeLDLT)
+		return NewSupernodal(a, order, ModeLDLT)
 	}
-	s, err := NewSupernodal(a, OrderAuto, ModeCholesky)
+	s, err := NewSupernodal(a, order, ModeCholesky)
 	if err == nil {
 		return s, nil
 	}
 	if !errors.Is(err, ErrNotPositiveDefinite) {
 		return nil, err
 	}
-	return NewSupernodal(a, OrderAuto, ModeLDLT)
+	return NewSupernodal(a, order, ModeLDLT)
 }
 
 // hasPosDiag reports whether every diagonal entry of a is strictly positive —

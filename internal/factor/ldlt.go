@@ -3,6 +3,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/sparse"
 )
@@ -28,14 +29,14 @@ const ldltPivotRelTol = 1e-13
 // at ErrDenseTooLarge, because LDLᵀ tolerates the negative and near-zero
 // pivots that make the Cholesky backends return ErrNotPositiveDefinite.
 type LDLT struct {
-	n      int
-	order  Ordering // the resolved concrete ordering (never OrderAuto)
-	perm   Perm     // perm[new] = old; nil when the ordering is the identity
-	colPtr []int
-	rowIdx []int32
-	vals   []float64
-	d      []float64
-	work   sparse.Vec
+	n       int
+	order   Ordering // the resolved concrete ordering (never OrderAuto)
+	perm    Perm     // perm[new] = old; nil when the ordering is the identity
+	colPtr  []int
+	rowIdx  []int32
+	vals    []float64
+	d       []float64
+	scratch sync.Pool // *sparse.Vec per-call solve scratch (SolveTo is reentrant)
 }
 
 // NewLDLT factorises the sparse symmetric matrix a under the given ordering
@@ -47,7 +48,8 @@ func NewLDLT(a *sparse.CSR, order Ordering) (*LDLT, error) {
 		return nil, fmt.Errorf("factor: sparse LDLT of non-square %dx%d matrix", a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	s := &LDLT{n: n, order: resolveOrdering(a, order), work: sparse.NewVec(n)}
+	s := &LDLT{n: n, order: resolveOrdering(a, order)}
+	s.scratch.New = func() any { v := sparse.NewVec(n); return &v }
 	c := a
 	if n > 1 {
 		if p := fillReducing(a, s.order); p != nil {
@@ -140,18 +142,32 @@ func (s *LDLT) Ordering() Ordering { return s.order }
 // is implicit and D adds n more values).
 func (s *LDLT) NNZL() int { return len(s.vals) }
 
-// Inertia returns the number of positive and negative pivots of D — by
-// Sylvester's law the inertia of A itself — which is how callers can tell a
-// definite block from a genuine saddle point after the fact.
-func (s *LDLT) Inertia() (pos, neg int) {
-	for _, d := range s.d {
-		if d > 0 {
+// Inertia returns the number of positive, negative and exactly-zero pivots
+// of D — by Sylvester's law the inertia of A itself — which is how callers
+// can tell a definite block from a genuine saddle point after the fact.
+// Pivots are classified by exact sign; a zero is counted as neither positive
+// nor negative, the same convention as Supernodal.Inertia. (The pivot
+// acceptance threshold means a zero can only be reported when max|A| is
+// itself zero — every other near-zero pivot fails the factorisation with
+// ErrSingular first.)
+func (s *LDLT) Inertia() (pos, neg, zero int) {
+	return inertiaOf(s.d)
+}
+
+// inertiaOf classifies the pivots of d by exact sign — shared by the scalar
+// and supernodal LDLᵀ backends so their inertia reports cannot drift apart.
+func inertiaOf(d []float64) (pos, neg, zero int) {
+	for _, v := range d {
+		switch {
+		case v > 0:
 			pos++
-		} else {
+		case v < 0:
 			neg++
+		default:
+			zero++
 		}
 	}
-	return pos, neg
+	return pos, neg, zero
 }
 
 // Solve solves A·x = b and returns x.
@@ -162,13 +178,16 @@ func (s *LDLT) Solve(b sparse.Vec) sparse.Vec {
 }
 
 // SolveTo solves A·x = b into x: permute, forward-substitute the unit lower
-// triangle, scale by D⁻¹, backward-substitute Lᵀ, permute back. x may alias b.
+// triangle, scale by D⁻¹, backward-substitute Lᵀ, permute back. x may alias
+// b. SolveTo is reentrant — the scratch is per call — so one factor may serve
+// concurrent solves.
 func (s *LDLT) SolveTo(x, b sparse.Vec) {
 	n := s.n
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("factor: sparse LDLT solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
 	}
-	w := s.work
+	wp := s.scratch.Get().(*sparse.Vec)
+	w := *wp
 	if s.perm != nil {
 		for i, old := range s.perm {
 			w[i] = b[old]
@@ -205,4 +224,5 @@ func (s *LDLT) SolveTo(x, b sparse.Vec) {
 	} else {
 		copy(x, w)
 	}
+	s.scratch.Put(wp)
 }

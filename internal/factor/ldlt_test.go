@@ -41,7 +41,7 @@ func TestLDLTMatchesDenseLUOnSNND(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: dense LU reference: %v", seed, err)
 		}
-		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD, OrderAuto} {
+		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD, OrderND, OrderAuto} {
 			s, err := NewLDLT(sys.A, ord)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, ord, err)
@@ -69,9 +69,9 @@ func TestLDLTMatchesCholeskyOnSPD(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", sys.Name, err)
 		}
-		pos, neg := ldlt.Inertia()
-		if neg != 0 || pos != sys.Dim() {
-			t.Errorf("%s: SPD system has inertia (%d+, %d-)", sys.Name, pos, neg)
+		pos, neg, zero := ldlt.Inertia()
+		if neg != 0 || zero != 0 || pos != sys.Dim() {
+			t.Errorf("%s: SPD system has inertia (%d+, %d-, %d zero)", sys.Name, pos, neg, zero)
 		}
 		xc, xl := chol.Solve(sys.B), ldlt.Solve(sys.B)
 		if d := xc.MaxAbsDiff(xl); d > 1e-10 {
@@ -87,9 +87,9 @@ func TestLDLTInertiaOfSaddleSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pos, neg := s.Inertia()
-	if pos != nx*ny || neg != ny {
-		t.Errorf("saddle inertia = (%d+, %d-), want (%d+, %d-)", pos, neg, nx*ny, ny)
+	pos, neg, zero := s.Inertia()
+	if pos != nx*ny || neg != ny || zero != 0 {
+		t.Errorf("saddle inertia = (%d+, %d-, %d zero), want (%d+, %d-, 0 zero)", pos, neg, zero, nx*ny, ny)
 	}
 }
 
@@ -156,9 +156,9 @@ func TestLDLTHandlesNegativeLeadingPivot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pos, neg := s.Inertia()
-	if pos != 1 || neg != 2 {
-		t.Errorf("inertia = (%d+, %d-), want (1+, 2-)", pos, neg)
+	pos, neg, zero := s.Inertia()
+	if pos != 1 || neg != 2 || zero != 0 {
+		t.Errorf("inertia = (%d+, %d-, %d zero), want (1+, 2-, 0 zero)", pos, neg, zero)
 	}
 	b := sparse.Vec{1, 2, 3}
 	x := s.Solve(b)

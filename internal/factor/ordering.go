@@ -1,6 +1,11 @@
 package factor
 
-import "repro/internal/sparse"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sparse"
+)
 
 // Ordering selects the fill-reducing ordering of the sparse factorisations.
 type Ordering int
@@ -17,9 +22,15 @@ const (
 	// couplings, random sparsity) where a breadth-first band is a poor model
 	// of the elimination fill.
 	OrderAMD
-	// OrderAuto picks per matrix: RCM when the pattern looks like a bounded-
-	// degree grid stencil, AMD otherwise. This is the policy the auto backend
-	// applies to every block it factorises sparsely.
+	// OrderND applies nested dissection: recursive vertex separators numbered
+	// last, AMD on the leaf subgraphs. On large grid stencils it cuts both
+	// fill and flops far below RCM's banded profile and yields the bushy
+	// elimination trees the supernodal subtree scheduler parallelises.
+	OrderND
+	// OrderAuto picks per matrix: a nested-dissection or RCM ordering when
+	// the pattern looks like a bounded-degree grid stencil (ND for large
+	// blocks, RCM for small ones), AMD otherwise. This is the policy the auto
+	// backend applies to every block it factorises sparsely.
 	OrderAuto
 )
 
@@ -32,6 +43,8 @@ func (o Ordering) String() string {
 		return "rcm"
 	case OrderAMD:
 		return "amd"
+	case OrderND:
+		return "nd"
 	case OrderAuto:
 		return "auto"
 	default:
@@ -39,16 +52,69 @@ func (o Ordering) String() string {
 	}
 }
 
-// autoOrderMaxGridDegree is the degree bound of the OrderAuto policy: the
-// 5-point and 7-point stencils of the grid workloads have off-diagonal degree
-// at most 4 and 6, so a pattern whose maximum degree stays at or below this
-// bound is treated as banded/grid-like and ordered by RCM. Anything with a
-// higher-degree row (twin-split EVS boundaries, saddle couplings, random
-// irregular graphs) goes to AMD.
-const autoOrderMaxGridDegree = 8
+// ParseOrdering maps an ordering's short name (as printed by String) back to
+// the Ordering — the CLI flag parser.
+func ParseOrdering(name string) (Ordering, error) {
+	switch name {
+	case "natural":
+		return OrderNatural, nil
+	case "rcm":
+		return OrderRCM, nil
+	case "amd":
+		return OrderAMD, nil
+	case "nd":
+		return OrderND, nil
+	case "auto":
+		return OrderAuto, nil
+	default:
+		return 0, fmt.Errorf("factor: unknown ordering %q (have natural, rcm, amd, nd, auto)", name)
+	}
+}
+
+var (
+	ordMu           sync.RWMutex
+	defaultOrdering = OrderAuto
+)
+
+// DefaultOrdering returns the ordering the registered sparse backends use.
+func DefaultOrdering() Ordering {
+	ordMu.RLock()
+	defer ordMu.RUnlock()
+	return defaultOrdering
+}
+
+// SetDefaultOrdering changes the ordering every registered sparse backend
+// uses (the CLIs' -ordering flag steers every consumer at once, the same way
+// SetDefault steers the backend choice). Constructing a backend directly via
+// NewCholesky/NewLDLT/NewSupernodal still takes an explicit Ordering.
+func SetDefaultOrdering(o Ordering) error {
+	if o < OrderNatural || o > OrderAuto {
+		return fmt.Errorf("factor: unknown ordering %d", o)
+	}
+	ordMu.Lock()
+	defaultOrdering = o
+	ordMu.Unlock()
+	return nil
+}
+
+// OrderAuto policy thresholds. The 5-point and 7-point stencils of the grid
+// workloads have off-diagonal degree at most 4 and 6, so a pattern whose
+// maximum off-diagonal degree stays at or below autoOrderMaxGridDegree is
+// treated as banded/grid-like; anything with a higher-degree row (twin-split
+// EVS boundaries, saddle couplings, random irregular graphs) goes to AMD.
+// Grid-like patterns of autoOrderNDMinDim unknowns and up are ordered by
+// nested dissection — below that RCM's tighter banded profile wins, above it
+// ND's separator fill (and the bushy etrees the subtree scheduler needs)
+// dominates.
+const (
+	autoOrderMaxGridDegree = 8
+	autoOrderNDMinDim      = 4096
+)
 
 // resolveOrdering maps OrderAuto to a concrete ordering for the given matrix;
-// concrete orderings pass through unchanged.
+// concrete orderings pass through unchanged. Only off-diagonal entries count
+// towards the stencil degree bound — the diagonal is always present on the
+// blocks the backends factorise and says nothing about the graph structure.
 func resolveOrdering(a *sparse.CSR, order Ordering) Ordering {
 	if order != OrderAuto {
 		return order
@@ -56,16 +122,18 @@ func resolveOrdering(a *sparse.CSR, order Ordering) Ordering {
 	n := a.Rows()
 	for i := 0; i < n; i++ {
 		cols, _ := a.RowView(i)
-		deg := len(cols)
+		deg := 0
 		for _, j := range cols {
-			if j == i {
-				deg--
-				break
+			if j != i {
+				deg++
 			}
 		}
 		if deg > autoOrderMaxGridDegree {
 			return OrderAMD
 		}
+	}
+	if n >= autoOrderNDMinDim {
+		return OrderND
 	}
 	return OrderRCM
 }
@@ -79,6 +147,8 @@ func fillReducing(a *sparse.CSR, order Ordering) Perm {
 		p = RCM(a)
 	case OrderAMD:
 		p = AMD(a)
+	case OrderND:
+		p = ND(a)
 	default:
 		return nil
 	}

@@ -2,6 +2,7 @@ package factor
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/sparse"
@@ -31,8 +32,11 @@ const (
 )
 
 // snTask is one independent elimination subtree: the contiguous supernode
-// range [lo, hi).
-type snTask struct{ lo, hi int32 }
+// range [lo, hi) and its estimated numeric cost (the dispatch priority).
+type snTask struct {
+	lo, hi int32
+	flops  float64
+}
 
 // scheduleTasks partitions the supernodes into independent subtree tasks and
 // the sequential top. It returns a nil task list when the factorisation
@@ -72,7 +76,7 @@ func scheduleTasks(sym *snSym, workers int) (tasks []snTask, top []int32) {
 			continue // the parent's subtree is also under threshold; take it instead
 		}
 		lo := int32(s) - subSize[s] + 1
-		tasks = append(tasks, snTask{lo: lo, hi: int32(s) + 1})
+		tasks = append(tasks, snTask{lo: lo, hi: int32(s) + 1, flops: subFlops[s]})
 		for t := lo; t <= int32(s); t++ {
 			inTask[t] = true
 		}
@@ -112,9 +116,26 @@ func (s *Supernodal) factorAll(c *sparse.CSR, sym *snSym) error {
 		workers = len(tasks)
 	}
 	s.workers = workers
+	// Dispatch the heaviest subtrees first: the bushy trees nested dissection
+	// produces have a few large sibling subtrees plus a tail of small ones,
+	// and largest-first keeps the tail available to backfill whichever worker
+	// finishes early. Execution order cannot change the numerics (each task's
+	// update order is fixed symbolically and tasks share no supernodes), so
+	// this is pure load balance.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := tasks[order[a]], tasks[order[b]]
+		if ta.flops != tb.flops {
+			return ta.flops > tb.flops
+		}
+		return ta.lo < tb.lo
+	})
 	errs := make([]error, len(tasks))
 	next := make(chan int, len(tasks))
-	for t := range tasks {
+	for _, t := range order {
 		next <- t
 	}
 	close(next)

@@ -3,6 +3,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/sparse"
 )
@@ -18,13 +19,13 @@ import (
 // the input, so a numerically unsymmetric matrix is treated as if its lower
 // triangle were mirrored.
 type Cholesky struct {
-	n      int
-	order  Ordering // the resolved concrete ordering (never OrderAuto)
-	perm   Perm     // perm[new] = old; nil when the ordering is the identity
-	colPtr []int
-	rowIdx []int32
-	vals   []float64
-	work   sparse.Vec // permuted rhs/solution scratch, one per factor
+	n       int
+	order   Ordering // the resolved concrete ordering (never OrderAuto)
+	perm    Perm     // perm[new] = old; nil when the ordering is the identity
+	colPtr  []int
+	rowIdx  []int32
+	vals    []float64
+	scratch sync.Pool // *sparse.Vec per-call solve scratch (SolveTo is reentrant)
 }
 
 // NewCholesky factorises the sparse SPD matrix a under the given ordering
@@ -36,7 +37,8 @@ func NewCholesky(a *sparse.CSR, order Ordering) (*Cholesky, error) {
 		return nil, fmt.Errorf("factor: sparse Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	s := &Cholesky{n: n, order: resolveOrdering(a, order), work: sparse.NewVec(n)}
+	s := &Cholesky{n: n, order: resolveOrdering(a, order)}
+	s.scratch.New = func() any { v := sparse.NewVec(n); return &v }
 	c := a
 	if n > 1 {
 		if p := fillReducing(a, s.order); p != nil {
@@ -196,13 +198,16 @@ func (s *Cholesky) Solve(b sparse.Vec) sparse.Vec {
 }
 
 // SolveTo solves A·x = b into x: permute, forward-substitute down the columns
-// of L, backward-substitute up Lᵀ, permute back. x may alias b.
+// of L, backward-substitute up Lᵀ, permute back. x may alias b. SolveTo is
+// reentrant — the scratch is per call — so one factor may serve concurrent
+// solves.
 func (s *Cholesky) SolveTo(x, b sparse.Vec) {
 	n := s.n
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("factor: sparse Cholesky solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
 	}
-	w := s.work
+	wp := s.scratch.Get().(*sparse.Vec)
+	w := *wp
 	if s.perm != nil {
 		for i, old := range s.perm {
 			w[i] = b[old]
@@ -235,4 +240,5 @@ func (s *Cholesky) SolveTo(x, b sparse.Vec) {
 	} else {
 		copy(x, w)
 	}
+	s.scratch.Put(wp)
 }

@@ -3,6 +3,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/sparse"
 )
@@ -99,15 +100,26 @@ type Supernodal struct {
 	px     []int
 	panel  []float64
 
-	d    []float64  // ModeLDLT: the signed pivots in permuted order
-	work sparse.Vec // permuted rhs/solution scratch, one per factor
-	gbuf []float64  // solve gather/scatter buffer, maxLd long
+	d []float64 // ModeLDLT: the signed pivots in permuted order
+
+	// scratch pools per-call solve buffers (*snSolveScratch), so SolveTo is
+	// reentrant: concurrent solves on one factor — the factor-once/solve-many
+	// pattern of the DTM subdomains — share nothing mutable.
+	scratch sync.Pool
 
 	// Stats from the symbolic phase / scheduler.
-	nnzStored int // stored trapezoid entries (incl. amalgamation zeros)
-	zeroFill  int // explicit zeros introduced by amalgamation
-	workers   int // workers the numeric phase ran on (1 = sequential)
-	tasks     int // independent subtree tasks scheduled
+	nnzStored int     // stored trapezoid entries (incl. amalgamation zeros)
+	zeroFill  int     // explicit zeros introduced by amalgamation
+	flopsEst  float64 // symbolic estimate of the factorisation flops
+	workers   int     // workers the numeric phase ran on (1 = sequential)
+	tasks     int     // independent subtree tasks scheduled
+}
+
+// snSolveScratch is the per-call scratch of SolveTo: the permuted
+// rhs/solution vector and the gather/scatter buffer (maxLd long).
+type snSolveScratch struct {
+	w sparse.Vec
+	g []float64
 }
 
 // NewSupernodal factorises the sparse symmetric matrix a under the given
@@ -120,14 +132,50 @@ func NewSupernodal(a *sparse.CSR, order Ordering, mode SupernodalMode) (*Superno
 		return nil, fmt.Errorf("factor: supernodal factorisation of non-square %dx%d matrix", a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	s := &Supernodal{n: n, mode: mode, order: resolveOrdering(a, order), work: sparse.NewVec(n)}
+	c, perm, sym, resolved := snPrepare(a, order)
+	s := &Supernodal{n: n, mode: mode, order: resolved, perm: perm}
+	s.ns = sym.ns
+	s.sfirst = sym.sfirst
+	s.rx = sym.rx
+	s.rowind = sym.rowind
+	s.px = sym.px
+	s.nnzStored = sym.nnzStored
+	s.zeroFill = sym.zeroFill
+	for _, f := range sym.flops {
+		s.flopsEst += f
+	}
+	s.panel = make([]float64, s.px[s.ns])
+	if mode == ModeLDLT {
+		s.d = make([]float64, n)
+	}
+	maxLd := 0
+	for i := 0; i < s.ns; i++ {
+		if ld := int(s.rx[i+1] - s.rx[i]); ld > maxLd {
+			maxLd = ld
+		}
+	}
+	s.scratch.New = func() any {
+		return &snSolveScratch{w: sparse.NewVec(n), g: make([]float64, maxLd)}
+	}
 
-	// Fill-reducing permutation, then the postorder of the elimination tree
-	// composed on top (supernode detection needs postordered columns).
-	c := a
+	if err := s.factorAll(c, sym); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// snPrepare is the shared front half of NewSupernodal and AnalyzeSupernodal:
+// resolve the ordering, compose the fill-reducing permutation with the
+// elimination-tree postorder (supernode detection needs postordered columns)
+// and run the symbolic phase. c is the permuted matrix the numeric phase
+// reads; perm is nil when the combined permutation is the identity.
+func snPrepare(a *sparse.CSR, order Ordering) (c *sparse.CSR, perm Perm, sym *snSym, resolved Ordering) {
+	n := a.Rows()
+	resolved = resolveOrdering(a, order)
+	c = a
 	var fillPerm Perm
 	if n > 1 {
-		if p := fillReducing(a, s.order); p != nil {
+		if p := fillReducing(a, resolved); p != nil {
 			fillPerm = p
 			c = a.PermuteSym(p)
 		}
@@ -143,37 +191,46 @@ func NewSupernodal(a *sparse.CSR, order Ordering, mode SupernodalMode) (*Superno
 				combined[i] = old
 			}
 		}
-		s.perm = combined
+		perm = combined
 		c = a.PermuteSym(combined)
 		parent = relabelEtree(parent, post)
 	} else if fillPerm != nil {
-		s.perm = fillPerm
+		perm = fillPerm
 	}
+	return c, perm, snSymbolic(c, parent), resolved
+}
 
-	sym := snSymbolic(c, parent)
-	s.ns = sym.ns
-	s.sfirst = sym.sfirst
-	s.rx = sym.rx
-	s.rowind = sym.rowind
-	s.px = sym.px
-	s.nnzStored = sym.nnzStored
-	s.zeroFill = sym.zeroFill
-	s.panel = make([]float64, s.px[s.ns])
-	if mode == ModeLDLT {
-		s.d = make([]float64, n)
-	}
-	maxLd := 0
-	for i := 0; i < s.ns; i++ {
-		if ld := int(s.rx[i+1] - s.rx[i]); ld > maxLd {
-			maxLd = ld
-		}
-	}
-	s.gbuf = make([]float64, maxLd)
+// SupernodalAnalysis is what a supernodal factorisation under a given
+// ordering would cost, measured symbolically — no numeric work is done.
+type SupernodalAnalysis struct {
+	Ordering   Ordering // the resolved concrete ordering
+	Supernodes int
+	NNZL       int     // stored trapezoid entries (incl. amalgamation zeros)
+	Flops      float64 // estimated factorisation flops
+	Tasks      int     // subtree tasks the scheduler cuts for a full worker pool
+}
 
-	if err := s.factorAll(c, sym); err != nil {
-		return nil, err
+// AnalyzeSupernodal runs only the symbolic phase and the subtree scheduler
+// and reports the factor's cost profile — the cheap way to compare orderings
+// (E6's ND-vs-RCM column) without paying for numeric factorisations. Tasks
+// is computed for the full snMaxWorkers pool, so the reported parallelism is
+// a property of the ordering, not of the machine the analysis runs on.
+func AnalyzeSupernodal(a *sparse.CSR, order Ordering) (SupernodalAnalysis, error) {
+	if a.Rows() != a.Cols() {
+		return SupernodalAnalysis{}, fmt.Errorf("factor: supernodal analysis of non-square %dx%d matrix", a.Rows(), a.Cols())
 	}
-	return s, nil
+	_, _, sym, resolved := snPrepare(a, order)
+	tasks, _ := scheduleTasks(sym, snMaxWorkers)
+	an := SupernodalAnalysis{
+		Ordering:   resolved,
+		Supernodes: sym.ns,
+		NNZL:       sym.nnzStored,
+		Tasks:      len(tasks),
+	}
+	for _, f := range sym.flops {
+		an.Flops += f
+	}
+	return an, nil
 }
 
 // postorder returns a postordering of the forest parent (children visited in
@@ -559,21 +616,23 @@ func (s *Supernodal) Supernodes() int { return s.ns }
 // (1/0 means the factorisation ran sequentially).
 func (s *Supernodal) Parallelism() (tasks, workers int) { return s.tasks, s.workers }
 
-// Inertia returns the number of positive and negative pivots. In Cholesky
-// mode every pivot is positive by construction.
-func (s *Supernodal) Inertia() (pos, neg int) {
+// Inertia returns the number of positive, negative and exactly-zero pivots,
+// classified by exact sign — the same convention as LDLT.Inertia, so the two
+// backends agree pivot for pivot. In Cholesky mode every pivot is positive by
+// construction. (A zero pivot can only be reported on a matrix whose largest
+// entry is itself zero: anything else fails the relative pivot threshold and
+// the factorisation returns ErrSingular instead.)
+func (s *Supernodal) Inertia() (pos, neg, zero int) {
 	if s.mode == ModeCholesky {
-		return s.n, 0
+		return s.n, 0, 0
 	}
-	for _, d := range s.d {
-		if d > 0 {
-			pos++
-		} else {
-			neg++
-		}
-	}
-	return pos, neg
+	return inertiaOf(s.d)
 }
+
+// Flops returns the symbolic estimate of the factorisation's floating-point
+// work (panel factorisations plus rank-k updates) — the number the E6
+// ordering comparison and the subtree scheduler partition work by.
+func (s *Supernodal) Flops() float64 { return s.flopsEst }
 
 // Solve solves A·x = b and returns x.
 func (s *Supernodal) Solve(b sparse.Vec) sparse.Vec {
@@ -585,13 +644,15 @@ func (s *Supernodal) Solve(b sparse.Vec) sparse.Vec {
 // SolveTo solves A·x = b into x: permute, supernodal forward substitution
 // (dense triangular solve per diagonal block, gathered rectangular updates),
 // the D⁻¹ scaling in LDLᵀ mode, supernodal backward substitution, permute
-// back. x may alias b.
+// back. x may alias b. SolveTo is reentrant — all scratch is per call — so
+// one factor may serve concurrent solves.
 func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 	n := s.n
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("factor: supernodal solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
 	}
-	w := s.work
+	sc := s.scratch.Get().(*snSolveScratch)
+	w := sc.w
 	if s.perm != nil {
 		for i, old := range s.perm {
 			w[i] = b[old]
@@ -610,7 +671,7 @@ func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 		ld := int(s.rx[sn+1] - s.rx[sn])
 		panel := s.panel[s.px[sn]:s.px[sn+1]]
 		rows := s.rowind[s.rx[sn]:s.rx[sn+1]]
-		g := s.gbuf[:ld-width]
+		g := sc.g[:ld-width]
 		for i := range g {
 			g[i] = 0
 		}
@@ -649,7 +710,7 @@ func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 		ld := int(s.rx[sn+1] - s.rx[sn])
 		panel := s.panel[s.px[sn]:s.px[sn+1]]
 		rows := s.rowind[s.rx[sn]:s.rx[sn+1]]
-		g := s.gbuf[:ld-width]
+		g := sc.g[:ld-width]
 		for i := width; i < ld; i++ {
 			g[i-width] = w[rows[i]]
 		}
@@ -675,6 +736,7 @@ func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 	} else {
 		copy(x, w)
 	}
+	s.scratch.Put(sc)
 }
 
 // snPivotError builds the deterministic pivot failure for permuted column k.

@@ -33,7 +33,7 @@ func snTestSystems() map[string]sparse.System {
 func TestSupernodalAgreesWithScalarBackends(t *testing.T) {
 	for name, sys := range snTestSystems() {
 		spd := hasPosDiag(sys.A)
-		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD, OrderAuto} {
+		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD, OrderND, OrderAuto} {
 			t.Run(fmt.Sprintf("%s/%s", name, ord), func(t *testing.T) {
 				mode := ModeCholesky
 				var ref sparse.Vec
@@ -93,17 +93,17 @@ func TestSupernodalLDLTInertiaMatchesScalar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, sneg := scalar.Inertia()
-	p, neg := sn.Inertia()
-	if p != sp || neg != sneg {
-		t.Errorf("supernodal inertia (%d+,%d-) differs from scalar (%d+,%d-)", p, neg, sp, sneg)
+	sp, sneg, szero := scalar.Inertia()
+	p, neg, zero := sn.Inertia()
+	if p != sp || neg != sneg || zero != szero {
+		t.Errorf("supernodal inertia (%d+,%d-,%d0) differs from scalar (%d+,%d-,%d0)", p, neg, zero, sp, sneg, szero)
 	}
-	if cp, cneg := func() (int, int) {
+	if cp, cneg, _ := func() (int, int, int) {
 		c, err := NewSupernodal(sys.A, OrderAMD, ModeCholesky)
 		if err == nil {
 			return c.Inertia()
 		}
-		return -1, -1
+		return -1, -1, -1
 	}(); cp != -1 {
 		t.Errorf("Cholesky mode factorised an indefinite system (inertia %d+,%d-)", cp, cneg)
 	}
@@ -137,23 +137,27 @@ func snFactorBytes(t *testing.T, s *Supernodal, b sparse.Vec) []byte {
 
 // TestSupernodalDeterministicAcrossGOMAXPROCS is the determinism guarantee of
 // the ISSUE: factors and solves must be byte-identical whether the scheduler
-// runs subtree tasks on one worker or four. AMD-ordered systems have bushy
-// elimination trees, so the parallel path genuinely engages (asserted via
-// Parallelism) when the work is large enough.
+// runs subtree tasks on one worker or four. AMD- and ND-ordered systems have
+// bushy elimination trees, so the parallel path genuinely engages (asserted
+// via Parallelism) when the work is large enough — the 128² ND grid is the
+// acceptance workload of the nested-dissection PR.
 func TestSupernodalDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	systems := map[string]struct {
 		sys  sparse.System
+		ord  Ordering
 		mode SupernodalMode
 	}{
-		"poisson-96x96": {sparse.Poisson2D(96, 96, 0.05), ModeCholesky},
-		"saddle-64x64":  {sparse.SaddlePoisson2D(64, 64, 1e-2), ModeLDLT},
+		"poisson-96x96-amd":  {sparse.Poisson2D(96, 96, 0.05), OrderAMD, ModeCholesky},
+		"saddle-64x64-amd":   {sparse.SaddlePoisson2D(64, 64, 1e-2), OrderAMD, ModeLDLT},
+		"poisson-128x128-nd": {sparse.Poisson2D(128, 128, 0.05), OrderND, ModeCholesky},
+		"saddle-64x64-nd":    {sparse.SaddlePoisson2D(64, 64, 1e-2), OrderND, ModeLDLT},
 	}
 	saved := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(saved)
 	for name, tc := range systems {
 		t.Run(name, func(t *testing.T) {
 			runtime.GOMAXPROCS(1)
-			s1, err := NewSupernodal(tc.sys.A, OrderAMD, tc.mode)
+			s1, err := NewSupernodal(tc.sys.A, tc.ord, tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -163,7 +167,7 @@ func TestSupernodalDeterministicAcrossGOMAXPROCS(t *testing.T) {
 			}
 
 			runtime.GOMAXPROCS(4)
-			s4, err := NewSupernodal(tc.sys.A, OrderAMD, tc.mode)
+			s4, err := NewSupernodal(tc.sys.A, tc.ord, tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}

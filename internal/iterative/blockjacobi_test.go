@@ -72,4 +72,30 @@ func TestBlockJacobiExplicitBackends(t *testing.T) {
 			t.Errorf("%s deviates from first backend by %g", backend, d)
 		}
 	}
+
+	// The same sweep with the package default ordering forced to nested
+	// dissection: every sparse backend must still converge to the same
+	// solution (the ordering changes the factors, not the algebra).
+	if err := factor.SetDefaultOrdering(factor.OrderND); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := factor.SetDefaultOrdering(factor.OrderAuto); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, backend := range []string{factor.SparseCholesky, factor.SparseSupernodal} {
+		x, st, err := BlockJacobi(sys.A, sys.B, assign, Config{
+			MaxIterations: 4000, Tol: 1e-10, LocalSolver: backend,
+		})
+		if err != nil {
+			t.Fatalf("%s under nd ordering: %v", backend, err)
+		}
+		if !st.Converged {
+			t.Fatalf("%s under nd ordering: did not converge (residual %g)", backend, st.Residual)
+		}
+		if d := x.Sub(ref).Norm2() / ref.Norm2(); d > 1e-9 {
+			t.Errorf("%s under nd ordering deviates from reference by %g", backend, d)
+		}
+	}
 }
