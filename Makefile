@@ -16,11 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full benchmark sweep of the hot-path figures and the E6 scale experiment,
+# Full benchmark sweep of the hot-path figures and the E6/E7 experiments,
 # plus a machine-readable summary (wall time / allocations per experiment) in
 # BENCH_dtm.json.
 bench:
-	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$|BenchmarkE6ScaleSparse$$' \
+	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$|BenchmarkE6ScaleSparse$$|BenchmarkE7FaultSweep$$' \
 		-benchmem -benchtime=2x -run '^$$' .
 	$(GO) run ./cmd/dtmbench -benchjson BENCH_dtm.json -quick
 

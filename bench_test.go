@@ -88,6 +88,12 @@ func BenchmarkAblationMixed(b *testing.B) { benchmarkExperiment(b, "ablation-mix
 // run with sparse local factorisations.
 func BenchmarkE6ScaleSparse(b *testing.B) { benchmarkExperiment(b, "scale-sparse") }
 
+// BenchmarkE7FaultSweep regenerates the fault-injection sweep (E7): the same
+// DTM workload solved fault-free and under message drop/duplication/jitter, a
+// hard link-down window, and a crash-restart from snapshot, measuring the
+// convergence-time and message overhead of recovery.
+func BenchmarkE7FaultSweep(b *testing.B) { benchmarkExperiment(b, "fault-sweep") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

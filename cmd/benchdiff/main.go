@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -66,6 +67,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validate(baseline, *baselinePath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validate(current, *currentPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
 
 	rows, failed := diff(baseline, current, thresholds{*maxNs, *maxAllocs})
 	report := renderMarkdown(rows, thresholds{*maxNs, *maxAllocs}, failed)
@@ -85,6 +94,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// validate rejects measurement files with unusable timings before any
+// comparison runs. A NaN, zero or negative ns_per_op would otherwise slip
+// through the gate silently: NaN compares false against every threshold and a
+// zero baseline turns any real measurement into a 100% "regression". Both
+// mean the measurement itself is broken — a truncated file, a benchmark that
+// never ran, or a corrupted re-baseline — and the gate must say so instead of
+// passing or failing on garbage.
+func validate(f benchjson.File, path string) error {
+	for _, r := range f.Results {
+		if r.Experiment == "" {
+			return fmt.Errorf("%s: a result has no experiment name", path)
+		}
+		if math.IsNaN(r.NsPerOp) || math.IsInf(r.NsPerOp, 0) || r.NsPerOp <= 0 {
+			return fmt.Errorf("%s: experiment %q has unusable ns_per_op %g — the measurement is broken, re-run `make bench` on a quiet machine", path, r.Experiment, r.NsPerOp)
+		}
+		if math.IsNaN(r.AllocsOp) || math.IsInf(r.AllocsOp, 0) || r.AllocsOp < 0 {
+			return fmt.Errorf("%s: experiment %q has unusable allocs_per_op %g", path, r.Experiment, r.AllocsOp)
+		}
+	}
+	return nil
 }
 
 // diff compares every baseline experiment against the current measurement.

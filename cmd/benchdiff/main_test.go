@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -103,6 +104,39 @@ func TestDiffReportsNewExperiments(t *testing.T) {
 	md := renderMarkdown(rows, defaultThresholds(), failed)
 	if !strings.Contains(md, "brand-new") || !strings.Contains(md, "do not gate") {
 		t.Errorf("markdown does not call out the informational experiment:\n%s", md)
+	}
+}
+
+// TestValidateRejectsUnusableMeasurements pins the guard against broken
+// measurement files: NaN, zero or negative timings must be rejected up front
+// with an error naming the file and experiment, never silently compared.
+func TestValidateRejectsUnusableMeasurements(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  benchjson.Record
+		want string
+	}{
+		{"nan-ns", bench("fig12", math.NaN(), 100), "ns_per_op"},
+		{"zero-ns", bench("fig12", 0, 100), "ns_per_op"},
+		{"negative-ns", bench("fig12", -5, 100), "ns_per_op"},
+		{"inf-ns", bench("fig12", math.Inf(1), 100), "ns_per_op"},
+		{"nan-allocs", bench("fig12", 100, math.NaN()), "allocs_per_op"},
+		{"unnamed", bench("", 100, 100), "no experiment name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(benchjson.File{Results: []benchjson.Record{tc.rec}}, "BENCH_dtm.json")
+			if err == nil {
+				t.Fatalf("record %+v passed validation", tc.rec)
+			}
+			if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "BENCH_dtm.json") {
+				t.Errorf("error %q does not name the problem (%q) and the file", err, tc.want)
+			}
+		})
+	}
+	good := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 0)}}
+	if err := validate(good, "x.json"); err != nil {
+		t.Errorf("a zero-alloc measurement is legitimate, got %v", err)
 	}
 }
 

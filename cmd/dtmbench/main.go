@@ -41,8 +41,16 @@ func main() {
 		ordering    = flag.String("ordering", "", "fill-reducing ordering every sparse factorisation uses: natural, rcm, amd, nd or auto (default: auto)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile of the run to this file")
+		timeout     = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none)")
 	)
 	flag.Parse()
+
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "dtmbench: %v deadline exceeded\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	if *localSolver != "" {
 		// The experiments construct their own option structs; steering the
@@ -149,7 +157,7 @@ func runOne(registry map[string]experiments.Runner, name string, quick bool) err
 }
 
 // benchExperiments are the hot-path figures whose cost is tracked over time.
-var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse"}
+var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse", "fault-sweep"}
 
 // writeBenchJSON measures each hot-path experiment and writes the shared
 // benchjson schema the cmd/benchdiff regression gate consumes.

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/factor"
 	"repro/internal/graph"
@@ -47,6 +50,8 @@ type options struct {
 	localSolver string
 	ordering    string
 	printX      bool
+	faults      string
+	timeout     time.Duration
 }
 
 func main() {
@@ -68,6 +73,8 @@ func main() {
 	flag.StringVar(&o.localSolver, "localsolver", "", fmt.Sprintf("local-factorisation backend for the block/subdomain solvers: one of %v (default: the factor package default, %q)", factor.Backends(), factor.Default()))
 	flag.StringVar(&o.ordering, "ordering", "", "fill-reducing ordering the sparse backends use: natural, rcm, amd, nd or auto (default: auto — nd/rcm for grid stencils by size, amd for irregular patterns)")
 	flag.BoolVar(&o.printX, "print-x", false, "print the solution vector")
+	flag.StringVar(&o.faults, "faults", "", `fault-injection spec for dtm/mixed/live, e.g. "seed=7,drop=0.05,dup=0.01,jitter=0.5,down=2>3@100:400,crash=5@400+300,snap=100" (see internal/chaos)`)
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock deadline; for -method live this is the run's wall-time budget (default 3s), for the others a hard cap on the whole solve")
 	flag.Parse()
 
 	if o.localSolver != "" && !factor.Known(o.localSolver) {
@@ -97,6 +104,16 @@ func run(o options) error {
 		return err
 	}
 	fmt.Printf("system %q: n=%d, nnz=%d, symmetric=%v\n", sys.Name, sys.Dim(), sys.A.NNZ(), sys.A.IsSymmetric(1e-12))
+
+	if o.timeout > 0 && o.method != "live" {
+		// The live engine honours the deadline cooperatively (it returns a
+		// partial result); for everything else the timeout is a hard cap on
+		// the process.
+		time.AfterFunc(o.timeout, func() {
+			fmt.Fprintf(os.Stderr, "dtmsolve: %v deadline exceeded\n", o.timeout)
+			os.Exit(1)
+		})
+	}
 
 	start := time.Now()
 	x, summary, err := solve(o, sys)
@@ -230,19 +247,40 @@ func distributedProblem(o options, sys sparse.System) (*core.Problem, error) {
 	return core.NewProblem(sys, res, topo, nil)
 }
 
+// faultSummary renders the fault statistics of a run, or "" without faults.
+func faultSummary(f *core.FaultStats) string {
+	if f == nil {
+		return ""
+	}
+	return fmt.Sprintf("\nfaults: %d dropped, %d duplicated, %d delayed, %d retransmissions, %d crashes / %d restarts (%d snapshots)",
+		f.Dropped, f.Duplicated, f.Delayed, f.Retransmissions, f.Crashes, f.Restarts, f.Snapshots)
+}
+
 func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
+	var spec *chaos.Spec
+	if o.faults != "" {
+		var err error
+		if spec, err = chaos.ParseSpec(o.faults); err != nil {
+			return nil, "", err
+		}
+		switch o.method {
+		case "dtm", "mixed", "live":
+		default:
+			return nil, "", fmt.Errorf("-faults applies to methods dtm, mixed and live, not %q", o.method)
+		}
+	}
 	switch o.method {
 	case "dtm":
 		prob, err := distributedProblem(o, sys)
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol, LocalSolver: o.localSolver})
+		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol, LocalSolver: o.localSolver, Faults: spec})
 		if err != nil {
 			return nil, "", err
 		}
-		return res.X, fmt.Sprintf("converged=%v at t=%.0f, %d local solves, %d messages, twin gap %.3g",
-			res.Converged, res.FinalTime, res.Solves, res.Messages, res.TwinGap), nil
+		return res.X, fmt.Sprintf("converged=%v at t=%.0f, %d local solves, %d messages, twin gap %.3g%s",
+			res.Converged, res.FinalTime, res.Solves, res.Messages, res.TwinGap, faultSummary(res.Faults)), nil
 	case "vtm":
 		prob, err := distributedProblem(o, sys)
 		if err != nil {
@@ -265,28 +303,40 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 			SyncSweeps:  1,
 			Tol:         o.tol,
 			LocalSolver: o.localSolver,
+			Faults:      spec,
 		})
 		if err != nil {
 			return nil, "", err
 		}
-		return res.X, fmt.Sprintf("converged=%v at t=%.0f after %d async phases and %d sync sweeps, %d local solves, %d messages",
-			res.Converged, res.FinalTime, res.AsyncPhases, res.SyncSweepsDone, res.Solves, res.Messages), nil
+		return res.X, fmt.Sprintf("converged=%v at t=%.0f after %d async phases and %d sync sweeps, %d local solves, %d messages%s",
+			res.Converged, res.FinalTime, res.AsyncPhases, res.SyncSweepsDone, res.Solves, res.Messages, faultSummary(res.Faults)), nil
 	case "live":
 		prob, err := distributedProblem(o, sys)
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveLive(prob, core.LiveOptions{
-			MaxWallTime: 3 * time.Second,
+		wall := 3 * time.Second
+		if o.timeout > 0 {
+			wall = o.timeout
+		}
+		res, err := core.SolveLive(context.Background(), prob, core.LiveOptions{
+			MaxWallTime: wall,
 			TimeScale:   20 * time.Microsecond,
 			Tol:         o.tol,
 			LocalSolver: o.localSolver,
+			Faults:      spec,
 		})
+		if errors.Is(err, core.ErrDeadlineExceeded) {
+			// Still report the partial result; the residual line tells the
+			// user how far the run got.
+			fmt.Fprintf(os.Stderr, "dtmsolve: %v\n", err)
+			err = nil
+		}
 		if err != nil {
 			return nil, "", err
 		}
-		return res.X, fmt.Sprintf("converged=%v after %.2f s of real asynchronous execution, %d local solves, %d messages",
-			res.Converged, res.FinalTime, res.Solves, res.Messages), nil
+		return res.X, fmt.Sprintf("converged=%v after %.2f s of real asynchronous execution, %d local solves, %d messages%s",
+			res.Converged, res.FinalTime, res.Solves, res.Messages, faultSummary(res.Faults)), nil
 	case "direct":
 		// One factor-once/solve-many factorisation of the whole system through
 		// the local-solver registry — the way to exercise a backend (or the

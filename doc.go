@@ -19,8 +19,15 @@
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission
 //     lines, heterogeneous machines, and the discrete-event network simulator;
+//   - internal/chaos — the deterministic fault-injection model: a parsed
+//     fault spec (drop/duplicate/jitter probabilities, link-down and
+//     slow-link windows, crash-restart schedules) and the seeded per-link
+//     controller that assigns every send a reproducible fate;
 //   - internal/core — the DTM solver itself (asynchronous DES engine, live
-//     goroutine engine, and the synchronous VTM special case);
+//     goroutine engine, and the synchronous VTM special case), including the
+//     recovery protocol both engines run under injected faults: sequence
+//     numbers with last-writer-wins dedup, watchdog retransmission with
+//     backoff, and crash-restart from periodic snapshots;
 //   - internal/iterative — the classical baselines (CG, Jacobi, Gauss–Seidel,
 //     SOR, synchronous and asynchronous block-Jacobi);
 //   - internal/experiments — one entry point per figure/table of the paper's

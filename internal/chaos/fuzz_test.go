@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec drives the fault-spec parser with arbitrary CLI input. The
+// invariants: the parser never panics, everything it accepts passes Validate
+// (the engines rely on that — they only re-validate, never re-check ranges),
+// and the canonical String() form round-trips to an identical Spec.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=7,drop=0.05,dup=0.01,jitter=0.5")
+	f.Add("down=2>3@100:400,slow=*>1@0:50x4,crash=5@400+300,snap=100,wdog=8")
+	f.Add("drop=0.05,jitter=0.5,down=*@800:1200,crash=3@500+250,seed=42")
+	f.Add("seed=-1")
+	f.Add("drop=1")           // out of range
+	f.Add("down=2>3@400:100") // empty window
+	f.Add("crash=3@0+1")      // crash at t=0
+	f.Add("slow=1>2@0:10x0.5")
+	f.Add("banana=1")
+	f.Add("=,=,=")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			// Only blank input parses to "no faults".
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", input, err)
+		}
+		canonical := spec.String()
+		back, err := ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, input, err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip changed the spec:\n input %q\n canonical %q\n first %+v\n second %+v", input, canonical, spec, back)
+		}
+		if again := back.String(); again != canonical {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canonical, again)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI fault-spec string into a validated Spec. The
+// grammar is a comma-separated list of items:
+//
+//	seed=<int>            fault stream seed (default 1)
+//	drop=<p>              drop probability per send, in [0,1)
+//	dup=<p>               duplication probability per delivery, in [0,1)
+//	jitter=<f>            extra delay per copy, uniform in [0, f·delay]
+//	wdog=<m>              watchdog timeout multiplier (default 4)
+//	snap=<t>              snapshot interval in time units (default 50)
+//	down=<pair>@<t0>:<t1>         hard link-down window
+//	slow=<pair>@<t0>:<t1>x<k>     burst window: deliveries take k× the delay
+//	crash=<part>@<t>+<d>          part crashes at t, restarts d later
+//
+// where <pair> is either `*` (every link) or `<from]>[to>` — e.g. `2>3` for
+// the directed pair from part 2 to part 3, `*>3` for every link into part 3.
+//
+// Example: "drop=0.05,jitter=0.5,down=*@800:1200,crash=3@500+250,seed=42".
+//
+// An empty string parses to nil (no faults).
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Seed: 1}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: fault-spec item %q is not key=value", item)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			spec.Drop, err = parseProb(key, val)
+		case "dup":
+			spec.Dup, err = parseProb(key, val)
+		case "jitter":
+			spec.Jitter, err = parseNonNeg(key, val)
+		case "wdog":
+			spec.WatchdogMult, err = parseNonNeg(key, val)
+		case "snap":
+			spec.SnapshotEvery, err = parseNonNeg(key, val)
+		case "down":
+			var w Window
+			w, err = parseWindow(val, false)
+			spec.Down = append(spec.Down, w)
+		case "slow":
+			var w Window
+			w, err = parseWindow(val, true)
+			spec.Down = append(spec.Down, w)
+		case "crash":
+			var c Crash
+			c, err = parseCrash(val)
+			spec.Crashes = append(spec.Crashes, c)
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault-spec key %q in %q", key, item)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fault-spec item %q: %w", item, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the ParseSpec grammar (a canonical form:
+// items in fixed order, defaults omitted). ParseSpec(s.String()) reproduces s.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, formatFloat(v)))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	add("drop", s.Drop)
+	add("dup", s.Dup)
+	add("jitter", s.Jitter)
+	add("wdog", s.WatchdogMult)
+	add("snap", s.SnapshotEvery)
+	for _, w := range s.Down {
+		if w.SlowBy > 1 {
+			parts = append(parts, fmt.Sprintf("slow=%s@%s:%sx%s",
+				formatPair(w.From, w.To), formatFloat(w.T0), formatFloat(w.T1), formatFloat(w.SlowBy)))
+		} else {
+			parts = append(parts, fmt.Sprintf("down=%s@%s:%s",
+				formatPair(w.From, w.To), formatFloat(w.T0), formatFloat(w.T1)))
+		}
+	}
+	for _, c := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%d@%s+%s",
+			c.Part, formatFloat(c.At), formatFloat(c.RestartAfter)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(p) || p < 0 || p >= 1 {
+		return 0, fmt.Errorf("%s must be in [0,1), got %g", key, p)
+	}
+	return p, nil
+}
+
+func parseNonNeg(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("%s must be non-negative and finite, got %g", key, f)
+	}
+	return f, nil
+}
+
+// parseWindow parses `<pair>@<t0>:<t1>` (and, for slow windows, a trailing
+// `x<k>` factor).
+func parseWindow(val string, slow bool) (Window, error) {
+	pair, span, ok := strings.Cut(val, "@")
+	if !ok {
+		return Window{}, fmt.Errorf("window %q is not <pair>@<t0>:<t1>", val)
+	}
+	w := Window{}
+	var err error
+	if w.From, w.To, err = parsePair(pair); err != nil {
+		return Window{}, err
+	}
+	if slow {
+		var factor string
+		span, factor, ok = strings.Cut(span, "x")
+		if !ok {
+			return Window{}, fmt.Errorf("slow window %q is missing the x<factor> suffix", val)
+		}
+		if w.SlowBy, err = parseNonNeg("slow factor", factor); err != nil {
+			return Window{}, err
+		}
+		if w.SlowBy <= 1 {
+			return Window{}, fmt.Errorf("slow factor must be > 1, got %g", w.SlowBy)
+		}
+	}
+	t0s, t1s, ok := strings.Cut(span, ":")
+	if !ok {
+		return Window{}, fmt.Errorf("window span %q is not <t0>:<t1>", span)
+	}
+	if w.T0, err = parseNonNeg("t0", t0s); err != nil {
+		return Window{}, err
+	}
+	if w.T1, err = parseNonNeg("t1", t1s); err != nil {
+		return Window{}, err
+	}
+	if w.T1 <= w.T0 {
+		return Window{}, fmt.Errorf("window span [%g,%g) is empty", w.T0, w.T1)
+	}
+	return w, nil
+}
+
+// parsePair parses `*`, `a>b`, `*>b` or `a>*` into (-1-wildcarded) part ids.
+func parsePair(s string) (from, to int, err error) {
+	if s == "*" {
+		return -1, -1, nil
+	}
+	fs, ts, ok := strings.Cut(s, ">")
+	if !ok {
+		return 0, 0, fmt.Errorf("link pair %q is not * or <from>><to>", s)
+	}
+	if from, err = parsePart(fs); err != nil {
+		return 0, 0, err
+	}
+	if to, err = parsePart(ts); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
+func parsePart(s string) (int, error) {
+	if s == "*" {
+		return -1, nil
+	}
+	p, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 {
+		return 0, fmt.Errorf("part id must be non-negative, got %d", p)
+	}
+	return p, nil
+}
+
+// parseCrash parses `<part>@<t>+<d>`.
+func parseCrash(val string) (Crash, error) {
+	part, sched, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("crash %q is not <part>@<t>+<d>", val)
+	}
+	c := Crash{}
+	var err error
+	if c.Part, err = parsePart(part); err != nil {
+		return Crash{}, err
+	}
+	if c.Part < 0 {
+		return Crash{}, fmt.Errorf("crash part must be a concrete id, got %q", part)
+	}
+	at, after, ok := strings.Cut(sched, "+")
+	if !ok {
+		return Crash{}, fmt.Errorf("crash schedule %q is not <t>+<d>", sched)
+	}
+	if c.At, err = parseNonNeg("crash time", at); err != nil {
+		return Crash{}, err
+	}
+	if c.RestartAfter, err = parseNonNeg("restart delay", after); err != nil {
+		return Crash{}, err
+	}
+	if c.RestartAfter <= 0 {
+		return Crash{}, fmt.Errorf("restart delay must be positive, got %g", c.RestartAfter)
+	}
+	return c, nil
+}
+
+func formatPair(from, to int) string {
+	if from == -1 && to == -1 {
+		return "*"
+	}
+	return formatPart(from) + ">" + formatPart(to)
+}
+
+func formatPart(p int) string {
+	if p == -1 {
+		return "*"
+	}
+	return strconv.Itoa(p)
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

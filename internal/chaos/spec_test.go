@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("drop=0.05,dup=0.01,jitter=0.5,down=*@800:1200,slow=2>3@100:200x8,crash=3@500+250,seed=42,wdog=3,snap=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Seed:   42,
+		Drop:   0.05,
+		Dup:    0.01,
+		Jitter: 0.5,
+		Down: []Window{
+			{From: -1, To: -1, T0: 800, T1: 1200},
+			{From: 2, To: 3, T0: 100, T1: 200, SlowBy: 8},
+		},
+		Crashes:       []Crash{{Part: 3, At: 500, RestartAfter: 250}},
+		WatchdogMult:  3,
+		SnapshotEvery: 25,
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Errorf("parsed %+v\nwant %+v", spec, want)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "   "} {
+		spec, err := ParseSpec(s)
+		if err != nil || spec != nil {
+			t.Errorf("ParseSpec(%q) = %v, %v; want nil, nil", s, spec, err)
+		}
+	}
+}
+
+func TestParseSpecWildcardPairs(t *testing.T) {
+	spec, err := ParseSpec("down=*>3@1:2,down=4>*@5:6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Down[0].From != -1 || spec.Down[0].To != 3 {
+		t.Errorf("*>3 parsed to %+v", spec.Down[0])
+	}
+	if spec.Down[1].From != 4 || spec.Down[1].To != -1 {
+		t.Errorf("4>* parsed to %+v", spec.Down[1])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"drop",                  // not key=value
+		"zap=1",                 // unknown key
+		"drop=1.0",              // probability out of range
+		"drop=x",                // not a number
+		"dup=-0.1",              //
+		"jitter=-1",             //
+		"jitter=Inf",            // non-finite
+		"seed=1.5",              // seed must be an integer
+		"down=0>1",              // window without a span
+		"down=0>1@5:5",          // empty span
+		"down=0>1@9:3",          // inverted span
+		"down=01@3:9",           // malformed pair
+		"down=a>b@3:9",          // non-numeric parts
+		"down=-3>1@3:9",         // negative part
+		"slow=0>1@3:9",          // slow without factor
+		"slow=0>1@3:9x1",        // factor must exceed 1
+		"crash=3",               // crash without schedule
+		"crash=3@5",             // crash without restart delay
+		"crash=*@5+1",           // crash needs a concrete part
+		"crash=3@5+0",           // zero restart delay
+		"crash=3@0+1",           // crash at t=0
+		"crash=3@-5+1",          // negative time
+		"down=0>1@NaN:9",        // NaN time
+		"drop=0.05,,drop=1.0,x", // error after valid items
+	}
+	for _, s := range bad {
+		if spec, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) = %+v, want error", s, spec)
+		}
+	}
+}
+
+// TestSpecStringRoundTrip pins the canonical form: rendering a spec and
+// re-parsing it must reproduce the spec exactly.
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []*Spec{
+		{Seed: 1},
+		{Seed: 42, Drop: 0.05, Dup: 0.01, Jitter: 0.5},
+		{Seed: -3, Down: []Window{{From: -1, To: -1, T0: 800, T1: 1200}}},
+		{Seed: 9, Down: []Window{{From: 2, To: 3, T0: 0.5, T1: 1.25, SlowBy: 8}}},
+		{Seed: 0, Crashes: []Crash{{Part: 3, At: 500, RestartAfter: 250}}, WatchdogMult: 2, SnapshotEvery: 12.5},
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %+v: %v", s, err)
+		}
+		got, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("round trip of %q: got %+v, want %+v", s.String(), got, s)
+		}
+	}
+	var nilSpec *Spec
+	if nilSpec.String() != "" {
+		t.Errorf("nil spec must render empty")
+	}
+}

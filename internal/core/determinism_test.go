@@ -125,7 +125,7 @@ func TestIncrementalTwinGapMatchesFullScan(t *testing.T) {
 		nodes[i] = newDTMNode(eng, s, compute)
 	}
 	sim := netsim.New(nodes, func(from, to int) float64 { return prob.Delay(from, to) })
-	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop() })
+	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop(now) })
 	sim.Run(opts.MaxTime)
 
 	full := 0.0

@@ -11,7 +11,15 @@ import (
 // DTL whose far end lives in the destination subdomain. It travels through the
 // generic simulator as a value — no interface boxing — and its entries slice
 // is recycled through the engine's pool once the receiver has consumed it.
+//
+// from and seq exist for the fault layer: seq numbers the waves of each
+// directed part pair so receivers can discard duplicated or overtaken packets
+// (last-writer-wins), and from identifies the sender on transports that do not
+// carry it themselves (the live engine's channels). Fault-free DES runs leave
+// seq at zero and never consult either field.
 type wavePacket struct {
+	from    int32
+	seq     uint64
 	entries []waveEntry
 }
 
@@ -72,6 +80,10 @@ type engine struct {
 	// timeOffset is added to every recorded trace time; the mixed sync/async
 	// engine uses it to stitch several DES windows onto one virtual time axis.
 	timeOffset float64
+
+	// faults is the fault-injection bookkeeping (see faults.go); nil unless the
+	// run has an enabled fault spec, and every fault-path branch is off then.
+	faults *faultState
 }
 
 func newEngine(p *Problem, opts *Options, subs []*Subdomain) *engine {
@@ -251,12 +263,19 @@ func (e *engine) quiesced(tol float64) bool {
 	return e.twinGap() <= tol
 }
 
-func (e *engine) shouldStop() bool {
+// shouldStop evaluates the stopping rules at absolute virtual time now. The
+// oracle rule (StopOnError, which peeks at the exact solution) is a
+// measurement device and ignores the fault layer; the distributed rule
+// (Tol-quiescence) is additionally gated on the fault layer being quiet —
+// no open link-down window, no crashed part, no wave still unaccounted for —
+// because any of those can still change a state that currently looks
+// converged.
+func (e *engine) shouldStop(now float64) bool {
 	if e.opts.StopOnError > 0 && e.exact != nil && e.rmsError() <= e.opts.StopOnError {
 		e.converged = true
 		return true
 	}
-	if e.quiesced(e.opts.Tol) {
+	if e.quiesced(e.opts.Tol) && e.faultQuiet(now) {
 		e.converged = true
 		return true
 	}
@@ -296,6 +315,12 @@ type dtmNode struct {
 	// instead of the paper's zero initial condition (5.6); the mixed sync/async
 	// engine uses it to resume an asynchronous window from accumulated state.
 	warmStart bool
+
+	// Fault-layer state (see faults.go); untouched in fault-free runs.
+	sim        *netsim.Simulator[wavePacket]
+	wdDeadline []float64 // armed watchdog deadline per neighbour
+	wdBackoff  []int     // consecutive silent watchdog expiries per neighbour
+	crashed    bool
 }
 
 func newDTMNode(eng *engine, sub *Subdomain, compute func(part, dim int) float64) *dtmNode {
@@ -324,7 +349,15 @@ func newDTMNode(eng *engine, sub *Subdomain, compute func(part, dim int) float64
 // initial waves are what bootstraps the asynchronous exchange. A warm-started
 // node instead announces the outgoing waves of its current state.
 func (n *dtmNode) Init(now float64) []netsim.Outgoing[wavePacket] {
-	return n.packetsToAll(!n.warmStart)
+	if n.eng.faults != nil {
+		n.initFaultNode(now)
+		if n.crashed {
+			// The crash window straddles the window start (mixed engine):
+			// announce nothing until the restart timer fires.
+			return nil
+		}
+	}
+	return n.packetsToAll(now, !n.warmStart)
 }
 
 // OnMessages implements steps 3–3.2: fold the received remote boundary
@@ -332,12 +365,40 @@ func (n *dtmNode) Init(now float64) []netsim.Outgoing[wavePacket] {
 // local system, and send the new local boundary conditions to the adjacent
 // subdomains.
 func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message[wavePacket]) []netsim.Outgoing[wavePacket] {
+	fresh := 0
 	for i := range msgs {
 		entries := msgs[i].Payload.entries
+		if f := n.eng.faults; f != nil {
+			if n.crashed {
+				// A crashed process loses everything delivered to it; the
+				// senders' watchdogs recover the state after the restart.
+				continue
+			}
+			pid := n.eng.pairID(msgs[i].From, n.sub.Part())
+			if !f.apply(pid, msgs[i].Payload.seq) {
+				// Duplicate, or overtaken by a newer wave on the same pair
+				// that a shorter jittered path delivered first.
+				continue
+			}
+		}
+		fresh++
 		for _, en := range entries {
 			n.sub.SetIncomingByLink(en.linkID, en.wave)
 		}
-		n.eng.entryPool.Put(entries)
+		if n.eng.faults == nil {
+			// Under faults a duplicated send aliases one entries buffer from
+			// two delivery events, so recycling a delivered buffer would hand
+			// it to a new sender while the duplicate still reads it. Buffers
+			// of delivered packets are left to the GC then; only the
+			// fault-free engine keeps its zero-alloc recycling.
+			n.eng.entryPool.Put(entries)
+		}
+	}
+	if fresh == 0 && n.eng.faults != nil {
+		// Nothing survived deduplication (or the process is down): no state
+		// changed, so re-solving and re-announcing would only amplify the
+		// duplicate traffic.
+		return nil
 	}
 	change := n.sub.Solve()
 	part := n.sub.Part()
@@ -348,7 +409,7 @@ func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message[wavePacket]) []n
 	if n.eng.opts.Observer != nil {
 		n.eng.opts.Observer(now, part, n.sub.X())
 	}
-	return n.packetsToAll(false)
+	return n.packetsToAll(now, false)
 }
 
 // ComputeTime implements netsim.Node.
@@ -360,9 +421,11 @@ func (n *dtmNode) ComputeTime(batch int) float64 {
 // true the waves are the zero initial condition; otherwise they are the waves
 // of the latest local solve, filtered by the send threshold. Entry buffers
 // come from the engine's pool and the outgoing slice is reused, so the steady
-// state allocates nothing.
-func (n *dtmNode) packetsToAll(initial bool) []netsim.Outgoing[wavePacket] {
+// state allocates nothing. Under a fault spec every packet is sequence-
+// numbered and each send re-arms the watchdog toward its destination.
+func (n *dtmNode) packetsToAll(now float64, initial bool) []netsim.Outgoing[wavePacket] {
 	threshold := n.eng.opts.SendThreshold
+	part := n.sub.Part()
 	ends := n.sub.Ends()
 	n.outs = n.outs[:0]
 	for ai, remote := range n.adj {
@@ -386,8 +449,14 @@ func (n *dtmNode) packetsToAll(initial bool) []netsim.Outgoing[wavePacket] {
 		for i, k := range toward {
 			n.lastSent[k] = entries[i].wave
 		}
+		pkt := wavePacket{from: int32(part), entries: entries}
+		if f := n.eng.faults; f != nil {
+			pkt.seq = f.sendSeq(n.eng.pairID(part, remote))
+			n.wdBackoff[ai] = 0
+			n.armWatchdog(now, ai)
+		}
 		n.eng.messages += 1
-		n.outs = append(n.outs, netsim.Outgoing[wavePacket]{To: remote, Payload: wavePacket{entries: entries}})
+		n.outs = append(n.outs, netsim.Outgoing[wavePacket]{To: remote, Payload: pkt})
 	}
 	return n.outs
 }
@@ -421,13 +490,24 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 
 	eng := newEngine(p, &opts, subs)
 	compute := opts.computeTimeFn(p)
+	dtmNodes := make([]*dtmNode, len(subs))
 	nodes := make([]netsim.Node[wavePacket], len(subs))
 	for i, s := range subs {
-		nodes[i] = newDTMNode(eng, s, compute)
+		dtmNodes[i] = newDTMNode(eng, s, compute)
+		nodes[i] = dtmNodes[i]
 	}
 	sim := netsim.New(nodes, func(from, to int) float64 { return p.Delay(from, to) })
+	if opts.Faults.Enabled() {
+		if err := eng.initFaults(opts.Faults); err != nil {
+			return nil, err
+		}
+		sim.SetFaultPolicy(eng.faults.ctl.Fate)
+	}
+	for _, n := range dtmNodes {
+		n.sim = sim
+	}
 	sim.SetObserver(func(now float64, node int) { eng.record(now) })
-	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop() })
+	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop(now) })
 
 	stats := sim.Run(opts.MaxTime)
 	return finish(eng, zs, stats.Time, stats.Messages, eng.converged), nil
@@ -457,5 +537,11 @@ func finish(eng *engine, zs []float64, finalTime float64, deliveredMessages int,
 		bn = 1
 	}
 	res.Residual = r.Norm2() / bn
+	if f := eng.faults; f != nil {
+		st := f.ctl.Stats()
+		fs := f.stats
+		fs.Dropped, fs.Duplicated, fs.Delayed = st.Dropped, st.Duplicated, st.Delayed
+		res.Faults = &fs
+	}
 	return res
 }

@@ -2,15 +2,23 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dtl"
 	"repro/internal/sparse"
 )
+
+// ErrDeadlineExceeded is returned by SolveLive when the run ends — by the
+// caller's context or by MaxWallTime — before the convergence tolerance is
+// reached. The returned Result is still valid: it carries the partial
+// solution, its residual, and the trace up to the deadline.
+var ErrDeadlineExceeded = errors.New("core: live solve deadline exceeded before convergence")
 
 // LiveOptions configures the live engine: the genuinely asynchronous execution
 // of DTM on goroutines and channels, with the topology's delays mapped onto
@@ -27,9 +35,12 @@ type LiveOptions struct {
 	LocalSolver string
 	// TimeScale converts one topology time unit into wall-clock time, e.g.
 	// 100·time.Microsecond turns a 10 ms-unit mesh delay into 1 ms of real
-	// time. Default: 100 µs per unit.
+	// time. Default: 100 µs per unit. The fault spec's windows and schedules,
+	// expressed in topology time units, are mapped through the same scale.
 	TimeScale time.Duration
-	// MaxWallTime bounds the real run time. Required.
+	// MaxWallTime bounds the real run time. Required. A run that reaches it
+	// without converging returns ErrDeadlineExceeded alongside the partial
+	// result when Tol is set.
 	MaxWallTime time.Duration
 	// Tol stops the run once the largest twin disagreement falls below it
 	// (checked by the monitor at every poll). Zero disables early stopping.
@@ -41,6 +52,13 @@ type LiveOptions struct {
 	PollInterval time.Duration
 	// RecordTrace enables the convergence history (sampled by the monitor).
 	RecordTrace bool
+	// Faults, when non-nil and enabled, injects the same deterministic-per-
+	// seed channel faults as Options.Faults into the real channels: drops,
+	// duplicates, jitter, link-down windows and crash-restart, plus the
+	// recovery machinery (sequence-numbered deduplication, per-part watchdog
+	// retransmission, periodic snapshots). The run itself stays
+	// non-deterministic — only the per-send fault fates are seeded.
+	Faults *chaos.Spec
 }
 
 // liveShared is the state the monitor reads and the subdomain goroutines
@@ -51,16 +69,58 @@ type liveShared struct {
 	ports []sparse.Vec // per part, the port potentials
 }
 
+// liveFaults is the live engine's fault bookkeeping. The needed/applied
+// arrays mirror the DES engine's faultState: needed[from·n+to] is the newest
+// state-bearing sequence number announced on the pair (written only by the
+// sender's goroutine), applied[·] the newest one folded in (written only by
+// the receiver's goroutine); the monitor reads both to refuse convergence
+// while any announced state has not landed.
+type liveFaults struct {
+	spec    *chaos.Spec
+	ctl     *chaos.Controller
+	needed  []atomic.Uint64
+	applied []atomic.Uint64
+
+	retransmissions atomic.Int64
+	crashes         atomic.Int64
+	restarts        atomic.Int64
+	snapshots       atomic.Int64
+}
+
+// quietAt reports whether the fault layer permits declaring convergence at
+// virtual time tv.
+func (lf *liveFaults) quietAt(tv float64) bool {
+	if lf.spec.AnyDownAt(tv) || lf.spec.AnyCrashedAt(tv) {
+		return false
+	}
+	for i := range lf.needed {
+		if lf.applied[i].Load() < lf.needed[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
 // SolveLive runs DTM with one goroutine per subdomain and real (scaled)
-// communication delays. The result mirrors SolveDTM's, with FinalTime in
-// wall-clock seconds. The run is not deterministic — that is the point — but
-// by Theorem 6.1 it converges to the same solution for any interleaving.
-func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
+// communication delays, until convergence, the context's cancellation or
+// deadline, or MaxWallTime — whichever comes first. The result mirrors
+// SolveDTM's, with FinalTime in wall-clock seconds. The run is not
+// deterministic — that is the point — but by Theorem 6.1 it converges to the
+// same solution for any interleaving.
+//
+// When the run ends before converging — the caller's ctx fired, or
+// MaxWallTime elapsed with a Tol set — SolveLive returns the partial result
+// together with ErrDeadlineExceeded. With Tol zero the run is time-boxed by
+// design and a full-length run is not an error.
+func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, error) {
 	if opts.MaxWallTime <= 0 {
 		return nil, fmt.Errorf("core: LiveOptions.MaxWallTime must be positive")
 	}
 	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
 		return nil, fmt.Errorf("core: LiveOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.TimeScale <= 0 {
 		opts.TimeScale = 100 * time.Microsecond
@@ -83,6 +143,21 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 	owner := p.OwnerPairs()
 	links := p.Partition.Links
 
+	var lf *liveFaults
+	if opts.Faults.Enabled() {
+		for _, c := range opts.Faults.Crashes {
+			if c.Part >= nParts {
+				return nil, fmt.Errorf("core: fault spec crashes part %d but the partition has only %d parts", c.Part, nParts)
+			}
+		}
+		lf = &liveFaults{
+			spec:    opts.Faults,
+			ctl:     chaos.NewController(opts.Faults, nParts),
+			needed:  make([]atomic.Uint64, nParts*nParts),
+			applied: make([]atomic.Uint64, nParts*nParts),
+		}
+	}
+
 	shared := &liveShared{x: sparse.NewVec(p.System.Dim()), ports: make([]sparse.Vec, nParts)}
 	for i, s := range subs {
 		shared.ports[i] = sparse.NewVec(s.NumPorts())
@@ -98,24 +173,38 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 				shared.x[pair[1]] = s.X()[pair[0]]
 			}
 		}
-		return liveResult(p, opts, shared, zs, 0, 1, 0, true), nil
+		return liveResult(p, opts, shared, zs, 0, 1, 0, true, lf), nil
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), opts.MaxWallTime)
+	runCtx, cancel := context.WithTimeout(ctx, opts.MaxWallTime)
 	defer cancel()
+
+	start := time.Now()
+	// virtualNow maps elapsed wall time back onto the topology's time axis —
+	// the axis the fault spec's windows and schedules are expressed on.
+	virtualNow := func() float64 {
+		return time.Since(start).Seconds() / opts.TimeScale.Seconds()
+	}
+	// sendThreshold suppresses fault-mode re-announcements of waves that did
+	// not change meaningfully — two orders below the stopping tolerance, so
+	// suppression can never hold the gap above Tol.
+	sendThreshold := opts.Tol / 100
+	if sendThreshold <= 0 {
+		sendThreshold = 1e-12
+	}
 
 	inboxes := make([]chan wavePacket, nParts)
 	for i := range inboxes {
 		inboxes[i] = make(chan wavePacket, 256)
 	}
 
-	// deliver schedules a packet to arrive at `to` after the scaled link delay.
-	// If the destination inbox is full the packet is dropped: a newer boundary
+	// deliver schedules a packet to arrive at `to` after the scaled link delay
+	// (or after whatever fate the fault controller assigns each copy). If the
+	// destination inbox is full the packet is dropped: a newer boundary
 	// condition will follow, and dropping keeps the timer goroutines from
 	// blocking forever after cancellation.
 	var timers sync.WaitGroup
-	deliver := func(from, to int, pkt wavePacket) {
-		delay := time.Duration(float64(opts.TimeScale) * p.Delay(from, to))
+	arrive := func(to int, pkt wavePacket, delay time.Duration) {
 		timers.Add(1)
 		time.AfterFunc(delay, func() {
 			defer timers.Done()
@@ -125,6 +214,19 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 			default:
 			}
 		})
+	}
+	deliver := func(from, to int, pkt wavePacket) {
+		d := p.Delay(from, to)
+		if lf == nil {
+			arrive(to, pkt, time.Duration(float64(opts.TimeScale)*d))
+			return
+		}
+		// The fates buffer is reused per pair; consume it before returning.
+		// Duplicated copies alias pkt.entries, which is never written after
+		// this point.
+		for _, fd := range lf.ctl.Fate(from, to, virtualNow(), d) {
+			arrive(to, pkt, time.Duration(float64(opts.TimeScale)*fd))
+		}
 	}
 
 	publish := func(part int, s *Subdomain) {
@@ -138,30 +240,125 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 		shared.mu.Unlock()
 	}
 
-	sendAll := func(part int, s *Subdomain, initial bool) {
-		for _, remote := range s.AdjacentParts() {
-			ends := s.EndsTowards(remote)
-			entries := make([]waveEntry, 0, len(ends))
-			for _, k := range ends {
-				w := 0.0
-				if !initial {
-					w = s.OutgoingWave(k)
-				}
-				entries = append(entries, waveEntry{linkID: s.Ends()[k].LinkID, wave: w})
-			}
-			deliver(part, remote, wavePacket{entries: entries})
-		}
-	}
-
 	var wg sync.WaitGroup
 	for part := range subs {
 		wg.Add(1)
 		go func(part int, s *Subdomain) {
 			defer wg.Done()
-			sendAll(part, s, true)
+			adj := s.AdjacentParts()
+			// sentSeq[i] numbers the waves toward adj[i]; owned by this
+			// goroutine alone. lastSent remembers what was last announced per
+			// neighbour, so an unchanged wave is not re-announced as new
+			// state: without that, every retransmission receipt would trigger
+			// a fresh state-bearing send, the needed marks would never stop
+			// moving, and the monitor could never see the system quiet.
+			sentSeq := make([]uint64, len(adj))
+			var lastSent [][]float64
+			if lf != nil {
+				lastSent = make([][]float64, len(adj))
+				for ai, remote := range adj {
+					lastSent[ai] = make([]float64, len(s.EndsTowards(remote)))
+					for j := range lastSent[ai] {
+						lastSent[ai][j] = math.NaN()
+					}
+				}
+			}
+
+			// sendAll announces the current waves to every neighbour.
+			// retransmit distinguishes watchdog re-announcements: they always
+			// go out, with fresh sequence numbers (so receivers prefer them
+			// over older in-flight copies), but do not raise the pair's
+			// needed mark. Regular fault-mode sends are suppressed per
+			// neighbour when nothing changed beyond the threshold.
+			sendAll := func(initial, retransmit bool) {
+				for ai, remote := range adj {
+					ends := s.EndsTowards(remote)
+					entries := make([]waveEntry, 0, len(ends))
+					changed := initial || retransmit || lf == nil
+					for j, k := range ends {
+						w := 0.0
+						if !initial {
+							w = s.OutgoingWave(k)
+						}
+						if lf != nil && !changed && !(math.Abs(w-lastSent[ai][j]) <= sendThreshold) {
+							changed = true
+						}
+						entries = append(entries, waveEntry{linkID: s.Ends()[k].LinkID, wave: w})
+					}
+					if !changed {
+						continue
+					}
+					if lf != nil {
+						// The baseline moves only on an actual send, so
+						// sub-threshold drift cannot accumulate unannounced.
+						for j := range entries {
+							lastSent[ai][j] = entries[j].wave
+						}
+					}
+					pkt := wavePacket{from: int32(part), entries: entries}
+					if lf != nil {
+						sentSeq[ai]++
+						pkt.seq = sentSeq[ai]
+						if !retransmit {
+							lf.needed[part*nParts+remote].Store(pkt.seq)
+						}
+					}
+					deliver(part, remote, pkt)
+				}
+			}
+
+			// Fault-mode timers. The watchdog is per part here (one timer
+			// re-announcing to all neighbours), a coarser grain than the DES
+			// engine's per-neighbour watchdogs but the same protocol.
+			var (
+				wdC, snapC, crashC, restartC <-chan time.Time
+				wdTimer                      *time.Timer
+				wdBase                       time.Duration
+				backoff                      int
+				crashed                      bool
+				crashIdx                     = -1
+				restartAfter                 time.Duration
+				nextCrash                    *time.Timer
+				restartTimer                 *time.Timer
+				snapTicker                   *time.Ticker
+			)
+			if lf != nil {
+				maxDelay := 0.0
+				for _, remote := range adj {
+					if d := p.Delay(part, remote); d > maxDelay {
+						maxDelay = d
+					}
+				}
+				wdBase = time.Duration(float64(opts.TimeScale) * lf.spec.WatchdogTimeout(maxDelay))
+				wdTimer = time.NewTimer(wdBase)
+				defer wdTimer.Stop()
+				wdC = wdTimer.C
+				for ci, c := range lf.spec.Crashes {
+					if c.Part == part {
+						crashIdx = ci
+						restartAfter = time.Duration(float64(opts.TimeScale) * c.RestartAfter)
+						nextCrash = time.NewTimer(time.Duration(float64(opts.TimeScale) * c.At))
+						defer nextCrash.Stop()
+						crashC = nextCrash.C
+						break
+					}
+				}
+				if len(lf.spec.Crashes) > 0 {
+					snapTicker = time.NewTicker(time.Duration(float64(opts.TimeScale) * lf.spec.SnapshotInterval()))
+					defer snapTicker.Stop()
+					snapC = snapTicker.C
+				}
+			}
+			resetWatchdog := func() {
+				if wdTimer != nil {
+					wdTimer.Reset(wdBase << uint(backoff))
+				}
+			}
+
+			sendAll(true, false)
 			for {
 				select {
-				case <-ctx.Done():
+				case <-runCtx.Done():
 					return
 				case pkt := <-inboxes[part]:
 					// Drain whatever else is already waiting so a burst of
@@ -176,30 +373,108 @@ func SolveLive(p *Problem, opts LiveOptions) (*Result, error) {
 							break drain
 						}
 					}
+					if crashed {
+						// A crashed process loses everything delivered to it.
+						continue
+					}
+					fresh := 0
 					for _, b := range batch {
+						if lf != nil {
+							pid := int(b.from)*nParts + part
+							if b.seq <= lf.applied[pid].Load() {
+								continue
+							}
+							lf.applied[pid].Store(b.seq)
+						}
+						fresh++
 						for _, en := range b.entries {
 							s.SetIncomingByLink(en.linkID, en.wave)
+						}
+					}
+					if fresh == 0 && lf != nil {
+						continue
+					}
+					s.Solve()
+					totalSolves.Add(1)
+					publish(part, s)
+					backoff = 0
+					sendAll(false, false)
+					resetWatchdog()
+				case <-wdC:
+					if !crashed {
+						lf.retransmissions.Add(1)
+						sendAll(false, true)
+						if backoff < lf.spec.BackoffCap() {
+							backoff++
+						}
+					}
+					resetWatchdog()
+				case <-snapC:
+					if !crashed {
+						s.Snapshot()
+						lf.snapshots.Add(1)
+					}
+				case <-crashC:
+					crashed = true
+					crashC = nil
+					lf.crashes.Add(1)
+					restartTimer = time.NewTimer(restartAfter)
+					restartC = restartTimer.C
+				case <-restartC:
+					restartC = nil
+					restartTimer.Stop()
+					crashed = false
+					lf.restarts.Add(1)
+					if err := s.Refactor(); err != nil {
+						// The same matrix factorised at start-up; this cannot
+						// fail at runtime.
+						panic(err)
+					}
+					s.RestoreSnapshot()
+					// The restarted process has no memory of what it last
+					// announced; clear the baselines so the re-announcement
+					// below reaches every neighbour.
+					for ai := range lastSent {
+						for j := range lastSent[ai] {
+							lastSent[ai][j] = math.NaN()
 						}
 					}
 					s.Solve()
 					totalSolves.Add(1)
 					publish(part, s)
-					sendAll(part, s, false)
+					backoff = 0
+					sendAll(false, false)
+					resetWatchdog()
+					// Arm the part's next crash, if the spec has one.
+					for ci := crashIdx + 1; ci < len(lf.spec.Crashes); ci++ {
+						if c := lf.spec.Crashes[ci]; c.Part == part {
+							crashIdx = ci
+							restartAfter = time.Duration(float64(opts.TimeScale) * c.RestartAfter)
+							at := time.Duration(float64(opts.TimeScale)*c.At) - time.Since(start)
+							if at < 0 {
+								at = 0
+							}
+							nextCrash.Reset(at)
+							crashC = nextCrash.C
+							break
+						}
+					}
 				}
 			}
 		}(part, subs[part])
 	}
 
 	// Monitor: samples the shared state, records the trace, and stops the run
-	// when the twin disagreement falls below Tol.
-	start := time.Now()
+	// when the twin disagreement falls below Tol (and, under faults, the fault
+	// layer is quiet: no open down window, no crashed part, no announced wave
+	// still unapplied).
 	var trace []TracePoint
 	converged := false
 	ticker := time.NewTicker(opts.PollInterval)
 monitorLoop:
 	for {
 		select {
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break monitorLoop
 		case <-ticker.C:
 			shared.mu.Lock()
@@ -224,7 +499,8 @@ monitorLoop:
 					Messages: int(totalMessages.Load()),
 				})
 			}
-			if opts.Tol > 0 && gap <= opts.Tol && totalSolves.Load() >= int64(nParts) {
+			if opts.Tol > 0 && gap <= opts.Tol && totalSolves.Load() >= int64(nParts) &&
+				(lf == nil || lf.quietAt(virtualNow())) {
 				converged = true
 				cancel()
 				break monitorLoop
@@ -236,12 +512,20 @@ monitorLoop:
 	wg.Wait()
 	timers.Wait()
 
-	res := liveResult(p, opts, shared, zs, time.Since(start).Seconds(), int(totalSolves.Load()), int(totalMessages.Load()), converged)
+	res := liveResult(p, opts, shared, zs, time.Since(start).Seconds(), int(totalSolves.Load()), int(totalMessages.Load()), converged, lf)
 	res.Trace = downsample(trace, 2000)
+	if !converged {
+		// The caller's context fired, or MaxWallTime elapsed. With a
+		// convergence target set (or an external cancellation) that is a
+		// deadline failure; a time-boxed run without Tol is not.
+		if ctx.Err() != nil || opts.Tol > 0 {
+			return res, ErrDeadlineExceeded
+		}
+	}
 	return res, nil
 }
 
-func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, elapsed float64, solves, messages int, converged bool) *Result {
+func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, elapsed float64, solves, messages int, converged bool, lf *liveFaults) *Result {
 	shared.mu.Lock()
 	x := shared.x.Clone()
 	gap := 0.0
@@ -270,5 +554,17 @@ func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, 
 		bn = 1
 	}
 	res.Residual = r.Norm2() / bn
+	if lf != nil {
+		st := lf.ctl.Stats()
+		res.Faults = &FaultStats{
+			Dropped:         st.Dropped,
+			Duplicated:      st.Duplicated,
+			Delayed:         st.Delayed,
+			Retransmissions: int(lf.retransmissions.Load()),
+			Crashes:         int(lf.crashes.Load()),
+			Restarts:        int(lf.restarts.Load()),
+			Snapshots:       int(lf.snapshots.Load()),
+		}
+	}
 	return res
 }

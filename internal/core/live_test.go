@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/iterative"
 	"repro/internal/sparse"
 	"repro/internal/topology"
@@ -11,11 +16,14 @@ import (
 
 func TestSolveLiveValidation(t *testing.T) {
 	prob, _ := gridProblem(t, 6, 2, nil)
-	if _, err := SolveLive(prob, LiveOptions{}); err == nil {
+	if _, err := SolveLive(context.Background(), prob, LiveOptions{}); err == nil {
 		t.Errorf("a live run without MaxWallTime must be rejected")
 	}
-	if _, err := SolveLive(prob, LiveOptions{MaxWallTime: time.Second, Exact: sparse.Vec{1, 2}}); err == nil {
+	if _, err := SolveLive(context.Background(), prob, LiveOptions{MaxWallTime: time.Second, Exact: sparse.Vec{1, 2}}); err == nil {
 		t.Errorf("a wrong-length exact vector must be rejected")
+	}
+	if _, err := SolveLive(context.Background(), prob, LiveOptions{MaxWallTime: time.Second, Faults: &chaos.Spec{Drop: 2}}); err == nil {
+		t.Errorf("an invalid fault spec must be rejected")
 	}
 }
 
@@ -33,7 +41,7 @@ func TestSolveLiveConvergesOnGoroutines(t *testing.T) {
 	if err != nil || !st.Converged {
 		t.Fatalf("reference CG failed")
 	}
-	res, err := SolveLive(prob, LiveOptions{
+	res, err := SolveLive(context.Background(), prob, LiveOptions{
 		TimeScale:    5 * time.Microsecond,
 		MaxWallTime:  10 * time.Second,
 		Tol:          1e-9,
@@ -75,7 +83,7 @@ func TestSolveLiveMatchesDESFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SolveDTM: %v", err)
 	}
-	live, err := SolveLive(prob, LiveOptions{
+	live, err := SolveLive(context.Background(), prob, LiveOptions{
 		TimeScale:   5 * time.Microsecond,
 		MaxWallTime: 10 * time.Second,
 		Tol:         1e-9,
@@ -90,5 +98,105 @@ func TestSolveLiveMatchesDESFixedPoint(t *testing.T) {
 	// their interleavings are completely different.
 	if !des.X.Equal(live.X, 1e-6) {
 		t.Errorf("DES and live solutions differ by %g", des.X.MaxAbsDiff(live.X))
+	}
+}
+
+// TestSolveLiveDeadlineExceeded pins the deadline contract: a run that cannot
+// reach its tolerance in the wall-time budget returns ErrDeadlineExceeded
+// together with the partial result, and an already-cancelled caller context
+// ends the run the same way.
+func TestSolveLiveDeadlineExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live engine test skipped in -short mode")
+	}
+	sys := sparse.Poisson2D(8, 8, 0.05)
+	prob, err := GridProblem(sys, 8, 8, 2, 2, topology.Uniform(4, 10, "uniform"))
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	res, err := SolveLive(context.Background(), prob, LiveOptions{
+		TimeScale:   5 * time.Microsecond,
+		MaxWallTime: 200 * time.Millisecond,
+		Tol:         1e-300, // unreachable: forces the deadline path
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("the partial result must accompany ErrDeadlineExceeded")
+	}
+	if res.Converged {
+		t.Error("a deadline-exceeded run cannot be marked converged")
+	}
+	if math.IsNaN(res.Residual) || math.IsInf(res.Residual, 0) {
+		t.Errorf("the partial result must carry a finite residual, got %g", res.Residual)
+	}
+	if res.Solves == 0 {
+		t.Error("the run must have made progress before the deadline")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = SolveLive(ctx, prob, LiveOptions{
+		TimeScale:   5 * time.Microsecond,
+		MaxWallTime: 10 * time.Second,
+		Tol:         1e-9,
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("cancelled context: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if res == nil || res.Converged {
+		t.Errorf("cancelled context must yield a non-converged partial result, got %+v", res)
+	}
+}
+
+// TestSolveLiveFaultsRecover drives the live engine's whole fault path — real
+// dropped and duplicated channel sends, watchdog retransmissions, and one
+// crash-restart from a snapshot — at GOMAXPROCS=4, and checks the run still
+// lands on the DES engine's solution. Run it under -race: the fault machinery
+// (per-pair atomics, in-goroutine timers) is exactly the code this guards.
+func TestSolveLiveFaultsRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live engine test skipped in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	sys := sparse.RandomGridSPD(7, 7, 11)
+	prob, err := GridProblem(sys, 7, 7, 2, 2, topology.Uniform(4, 10, "uniform"))
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	des, err := SolveDTM(prob, Options{MaxTime: 20000, Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("SolveDTM: %v", err)
+	}
+	live, err := SolveLive(context.Background(), prob, LiveOptions{
+		TimeScale:   5 * time.Microsecond,
+		MaxWallTime: 20 * time.Second,
+		Tol:         1e-9,
+		Faults: &chaos.Spec{
+			Seed: 17, Drop: 0.20, Dup: 0.05, Jitter: 0.5,
+			Crashes:       []chaos.Crash{{Part: 2, At: 2000, RestartAfter: 1000}},
+			SnapshotEvery: 500,
+		},
+	})
+	if err != nil {
+		t.Fatalf("SolveLive: %v", err)
+	}
+	if !live.Converged {
+		t.Fatalf("faulted live run did not converge (twin gap %g)", live.TwinGap)
+	}
+	if live.Faults == nil {
+		t.Fatal("a faulted run must report fault statistics")
+	}
+	if live.Faults.Dropped == 0 {
+		t.Errorf("20%% drop over a full run must drop something: %+v", live.Faults)
+	}
+	if live.Faults.Crashes != 1 || live.Faults.Restarts != 1 {
+		t.Errorf("crash/restart counts = %d/%d, want 1/1", live.Faults.Crashes, live.Faults.Restarts)
+	}
+	if !des.X.Equal(live.X, 1e-6) {
+		t.Errorf("faulted live solution differs from DES by %g", des.X.MaxAbsDiff(live.X))
 	}
 }

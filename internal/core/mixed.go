@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/dtl"
 	"repro/internal/netsim"
 	"repro/internal/sparse"
@@ -45,6 +46,12 @@ type MixedOptions struct {
 	RecordTrace bool
 	// TraceMaxPoints bounds the retained trace length (default 2000).
 	TraceMaxPoints int
+	// Faults, when non-nil and enabled, injects deterministic channel faults
+	// into the asynchronous windows (see Options.Faults). The synchronous
+	// sweeps are reliable barriers — they exchange every wave and settle all
+	// outstanding sequence numbers — but a part inside a crash window sits a
+	// sweep out: it neither solves nor exchanges waves.
+	Faults *chaos.Spec
 }
 
 // MixedResult is the outcome of a mixed sync/async run.
@@ -89,12 +96,21 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 		StopOnError:    opts.StopOnError,
 		RecordTrace:    opts.RecordTrace,
 		TraceMaxPoints: opts.TraceMaxPoints,
+		Faults:         opts.Faults,
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	subs, zs, err := p.buildSubdomains(engineOpts.impedance(), engineOpts.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
 	eng := newEngine(p, &engineOpts, subs)
+	if opts.Faults.Enabled() {
+		if err := eng.initFaults(opts.Faults); err != nil {
+			return nil, err
+		}
+	}
 	out := &MixedResult{}
 
 	// Degenerate single-subdomain case: one solve is the answer.
@@ -119,20 +135,32 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 
 	now := 0.0
 	delivered := 0
-	links := p.Partition.Links
 	for now < opts.MaxTime && !eng.converged {
 		// Asynchronous phase: a DES window over the remaining budget.
 		window := math.Min(opts.AsyncWindow, opts.MaxTime-now)
+		dtmNodes := make([]*dtmNode, len(subs))
 		nodes := make([]netsim.Node[wavePacket], len(subs))
 		for i, s := range subs {
 			node := newDTMNode(eng, s, compute)
 			node.warmStart = out.AsyncPhases > 0 || out.SyncSweepsDone > 0
+			dtmNodes[i] = node
 			nodes[i] = node
 		}
 		eng.timeOffset = now
+		off := now
 		sim := netsim.New(nodes, func(from, to int) float64 { return p.Delay(from, to) })
+		if eng.faults != nil {
+			// The fault spec's windows are on the stitched absolute axis; the
+			// DES window runs on a relative one.
+			sim.SetFaultPolicy(func(from, to int, t, d float64) []float64 {
+				return eng.faults.ctl.Fate(from, to, off+t, d)
+			})
+		}
+		for _, n := range dtmNodes {
+			n.sim = sim
+		}
 		sim.SetObserver(func(t float64, node int) { eng.record(t) })
-		sim.SetStopCondition(func(t float64) bool { return eng.shouldStop() })
+		sim.SetStopCondition(func(t float64) bool { return eng.shouldStop(off + t) })
 		stats := sim.Run(window)
 		delivered += stats.Messages
 		now += math.Min(window, stats.Time)
@@ -144,7 +172,15 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 		// Synchronous phase: VTM-style sweeps at a barrier, each one charged the
 		// slowest round trip of the machine.
 		for s := 0; s < sweeps && now < opts.MaxTime && !eng.converged; s++ {
+			// A part inside a crash window at the barrier instant is down: it
+			// neither solves nor exchanges waves this sweep.
+			crashed := func(part int) bool {
+				return eng.faults != nil && eng.faults.spec.CrashedAt(part, now)
+			}
 			for part, sub := range subs {
+				if crashed(part) {
+					continue
+				}
 				eng.lastChange[part] = sub.Solve()
 				eng.solvedOnce[part] = true
 				eng.solves++
@@ -157,26 +193,39 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 				wave float64
 			}
 			var updates []pending
+			exchanged := 0
 			for _, sub := range subs {
+				if crashed(sub.Part()) {
+					continue
+				}
 				ends := sub.Ends()
 				for k := range ends {
+					if crashed(ends[k].Remote) {
+						continue
+					}
 					updates = append(updates, pending{
 						sub:  subs[ends[k].Remote],
 						link: ends[k].LinkID,
 						wave: sub.OutgoingWave(k),
 					})
+					exchanged++
 				}
 			}
 			for _, u := range updates {
 				u.sub.SetIncomingByLink(u.link, u.wave)
 			}
-			eng.messages += 2 * len(links)
-			delivered += 2 * len(links)
+			eng.messages += exchanged
+			delivered += exchanged
+			if eng.faults != nil {
+				// The barrier exchanged (or consciously skipped) everything:
+				// no wave is left in flight.
+				eng.faults.settle()
+			}
 			now += syncCost
 			out.SyncSweepsDone++
 			eng.timeOffset = 0
 			eng.record(now)
-			if eng.shouldStop() {
+			if eng.shouldStop(now) {
 				break
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/dtl"
 	"repro/internal/factor"
 	"repro/internal/sparse"
@@ -53,7 +54,10 @@ type Options struct {
 	// toward it changed by more than this amount since the last send. Zero
 	// means every solve broadcasts to all neighbours (the paper's Table 1
 	// behaviour); a small positive value lets a converged computation go
-	// quiet on its own.
+	// quiet on its own. Under an enabled fault spec a zero threshold defaults
+	// to Tol/100 (1e-12 when Tol is zero): the fault-aware stop waits for
+	// every state-bearing wave to be applied, and a network that re-announces
+	// sub-tolerance changes forever never drains.
 	SendThreshold float64
 
 	// Observer, when non-nil, is invoked after every local solve with the
@@ -67,6 +71,14 @@ type Options struct {
 
 	// TraceMaxPoints bounds the number of retained trace points (default 2000).
 	TraceMaxPoints int
+
+	// Faults, when non-nil and enabled, injects deterministic channel faults
+	// (drops, duplicates, jitter, link-down windows, crash-restart) into the
+	// run and activates the recovery machinery: sequence-numbered waves with
+	// last-writer-wins deduplication, watchdog retransmission, and periodic
+	// snapshots. Runs stay byte-identical per Faults.Seed. A nil or disabled
+	// spec leaves every fault-path branch off.
+	Faults *chaos.Spec
 }
 
 func (o *Options) validate(p *Problem) error {
@@ -81,6 +93,9 @@ func (o *Options) validate(p *Problem) error {
 	}
 	if o.LocalSolver != "" && !factor.Known(o.LocalSolver) {
 		return fmt.Errorf("core: unknown local solver backend %q (have %v)", o.LocalSolver, factor.Backends())
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

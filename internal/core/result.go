@@ -49,6 +49,24 @@ type Result struct {
 	Trace []TracePoint
 	// Impedances holds the characteristic impedance chosen for each twin link.
 	Impedances []float64
+	// Faults summarises the injected faults and the recovery work of the run;
+	// nil unless the run had an enabled fault spec.
+	Faults *FaultStats
+}
+
+// FaultStats counts the faults a run was subjected to and the recovery
+// machinery's responses.
+type FaultStats struct {
+	// Dropped, Duplicated and Delayed count what the channel layer injected:
+	// sends that were lost, delivered twice, or delivered through an open
+	// burst/degraded window.
+	Dropped, Duplicated, Delayed int64
+	// Retransmissions counts watchdog re-announcements of the latest wave.
+	Retransmissions int
+	// Crashes, Restarts and Snapshots count the crash-restart machinery's
+	// events: processes lost, recoveries performed, and periodic snapshots
+	// taken.
+	Crashes, Restarts, Snapshots int
 }
 
 // ErrorAtTime returns the RMS error of the last trace point at or before the

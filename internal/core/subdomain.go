@@ -59,6 +59,15 @@ type Subdomain struct {
 	prevPorts []float64  // scratch: port potentials before the latest solve
 	solves    int
 	spd       bool // whether the local matrix was Cholesky-factorisable
+
+	// localA and backend are kept so a crash-restarted subdomain can rebuild
+	// its factorisation through the registry (Refactor); snapX/snapIncoming
+	// hold the latest in-memory snapshot a restart rolls back to.
+	localA       *sparse.CSR
+	backend      string
+	snapX        sparse.Vec
+	snapIncoming []float64
+	hasSnap      bool
 }
 
 // NewSubdomain builds the DTM subdomain for one EVS subgraph. links must be
@@ -125,6 +134,8 @@ func NewSubdomain(sub *partition.Subdomain, links []partition.TwinLink, z []floa
 	}
 	s.solver = solver
 	s.spd = solver.Backend() != factor.DenseLU
+	s.localA = local
+	s.backend = backend
 	return s, nil
 }
 
@@ -291,4 +302,49 @@ func (s *Subdomain) Reset() {
 		s.incoming[k] = 0
 	}
 	s.solves = 0
+}
+
+// Snapshot stores an in-memory copy of the subdomain's recovery state: the
+// latest local solution and the latest incoming waves. The constant inputs —
+// the local matrix, right-hand side and DTL endpoints — need no snapshot, and
+// the factorisation is deliberately excluded: a crashed process loses it and
+// Refactor rebuilds it from the cached matrix.
+func (s *Subdomain) Snapshot() {
+	if s.snapX == nil {
+		s.snapX = sparse.NewVec(len(s.x))
+		s.snapIncoming = make([]float64, len(s.incoming))
+	}
+	s.snapX.CopyFrom(s.x)
+	copy(s.snapIncoming, s.incoming)
+	s.hasSnap = true
+}
+
+// RestoreSnapshot rolls the solution and incoming waves back to the latest
+// snapshot, or to the zero initial condition when none has been taken. The
+// buffers are restored in place — pointers into x held by the engine's
+// twin-gap tracker stay valid.
+func (s *Subdomain) RestoreSnapshot() {
+	if !s.hasSnap {
+		s.x.Zero()
+		for k := range s.incoming {
+			s.incoming[k] = 0
+		}
+		return
+	}
+	s.x.CopyFrom(s.snapX)
+	copy(s.incoming, s.snapIncoming)
+}
+
+// Refactor rebuilds the local solver from the cached local matrix through the
+// factor registry. A crash-restarted subdomain calls it because the
+// factorisation held by the crashed process is lost; the rebuild is
+// deterministic, so the restarted subdomain solves exactly as before.
+func (s *Subdomain) Refactor() error {
+	solver, err := factor.New(s.backend, s.localA)
+	if err != nil {
+		return fmt.Errorf("core: refactorising local system of part %d: %w", s.part, err)
+	}
+	s.solver = solver
+	s.spd = solver.Backend() != factor.DenseLU
+	return nil
 }

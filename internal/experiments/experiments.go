@@ -159,6 +159,29 @@ func Registry() map[string]Runner {
 			}
 			return r.Render(w)
 		},
+		"fault-sweep": func(w io.Writer, quick bool) error {
+			p := DefaultFaultSweepParams()
+			if quick {
+				p = QuickFaultSweepParams()
+			}
+			r, err := FaultSweep(p)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+			if quick {
+				return nil
+			}
+			// The full run adds the large-grid leg.
+			big, err := FaultSweep(FullFaultSweepParams())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return big.Render(w)
+		},
 	}
 }
 
@@ -168,6 +191,6 @@ func Names() []string {
 		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
-		"scale-sparse",
+		"scale-sparse", "fault-sweep",
 	}
 }

@@ -239,6 +239,58 @@ func TestFig12QuickConverges(t *testing.T) {
 	}
 }
 
+func TestFaultSweepQuickLegsRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-sweep experiment skipped in -short mode")
+	}
+	res, err := FaultSweep(QuickFaultSweepParams())
+	if err != nil {
+		t.Fatalf("FaultSweep: %v", err)
+	}
+	// baseline + two drop legs + link-down + crash.
+	if len(res.Legs) != 5 {
+		t.Fatalf("legs = %d, want 5", len(res.Legs))
+	}
+	for _, leg := range res.Legs {
+		if !leg.Converged {
+			t.Errorf("leg %q did not converge", leg.Name)
+		}
+		if !leg.Agrees {
+			t.Errorf("leg %q diverges from the fault-free baseline by %g", leg.Name, leg.OracleDiff)
+		}
+		if leg.Name != "baseline" && leg.TimeOverhead < 1 {
+			t.Errorf("leg %q finished %0.2fx faster than the baseline — faults cannot speed convergence up", leg.Name, leg.TimeOverhead)
+		}
+	}
+	if res.Legs[0].Name != "baseline" || res.Legs[0].Faults.Dropped != 0 {
+		t.Errorf("first leg must be the clean baseline: %+v", res.Legs[0])
+	}
+	crash := res.Legs[len(res.Legs)-1]
+	if crash.Faults.Crashes != 1 || crash.Faults.Restarts != 1 || crash.Faults.Snapshots == 0 {
+		t.Errorf("crash leg counters wrong: %+v", crash.Faults)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "E7") || !strings.Contains(sb.String(), "crash") {
+		t.Errorf("render output incomplete:\n%s", sb.String())
+	}
+}
+
+func TestFaultSweepValidatesShape(t *testing.T) {
+	p := QuickFaultSweepParams()
+	p.MeshPx = 3
+	if _, err := FaultSweep(p); err == nil {
+		t.Errorf("mismatched processor mesh must be rejected")
+	}
+	p = QuickFaultSweepParams()
+	p.DropRates = []float64{0.05}
+	if _, err := FaultSweep(p); err == nil {
+		t.Errorf("a sweep without the fault-free baseline must be rejected")
+	}
+}
+
 func TestCompareParamsValidation(t *testing.T) {
 	bad := DefaultCompareParams()
 	bad.MeshPx = 3

@@ -65,6 +65,24 @@ type Node[P any] interface {
 // It must be strictly positive for distinct nodes.
 type DelayFunc func(from, to int) float64
 
+// FaultFunc is the per-link fault-injection hook: given a send on the
+// directed link from→to at virtual time now with nominal delay d, it returns
+// the delivery delay of every copy to schedule. An empty result drops the
+// message; two entries duplicate it; delays larger than d model jitter and
+// burst windows (internal/chaos implements the standard policies). The
+// returned slice is only read before the next send, so implementations may
+// reuse one buffer.
+type FaultFunc func(from, to int, now, d float64) []float64
+
+// TimerNode is implemented by nodes that schedule timers through
+// Simulator.After — DTM's retransmission watchdogs, snapshot ticks and
+// crash-restart schedules. OnTimer is called when a timer fires; the returned
+// messages are sent at now, exactly like OnMessages' (and the same buffer
+// reuse contract applies).
+type TimerNode[P any] interface {
+	OnTimer(now float64, id int) []Outgoing[P]
+}
+
 // Observer is called after every node activation with the completion time and
 // the node that just computed; the DTM convergence monitor hooks in here.
 type Observer func(now float64, node int)
@@ -89,19 +107,21 @@ type Stats struct {
 const (
 	evArrival = iota
 	evFree
+	evTimer
 )
 
 // event is a value-typed queue entry; it is stored directly in the heap's
 // backing array, never allocated individually. It deliberately does not embed
 // a full Message: the destination equals node and the delivery time equals
 // time, so only the sender, send time and payload are carried — keeping the
-// entries the heap shuffles around 24 bytes smaller.
+// entries the heap shuffles around 24 bytes smaller. Timer events reuse the
+// from field for the caller-chosen timer id, so they cost nothing extra.
 type event[P any] struct {
 	time     float64
 	seq      int64
 	kind     int32
 	node     int32
-	from     int32
+	from     int32 // sender for arrivals; timer id for timers
 	sendTime float64
 	payload  P
 }
@@ -184,6 +204,7 @@ func (q *eventQueue[P]) siftDown(e event[P]) {
 type Simulator[P any] struct {
 	nodes []Node[P]
 	delay DelayFunc
+	fault FaultFunc
 
 	queue eventQueue[P]
 	seq   int64
@@ -230,6 +251,39 @@ func (s *Simulator[P]) SetObserver(o Observer) { s.observer = o }
 // when it returns true the run ends early.
 func (s *Simulator[P]) SetStopCondition(stop func(now float64) bool) { s.stop = stop }
 
+// SetFaultPolicy registers the per-link fault-injection hook applied to every
+// send. A nil policy (the default) delivers every message exactly once after
+// its nominal delay.
+func (s *Simulator[P]) SetFaultPolicy(f FaultFunc) { s.fault = f }
+
+// After schedules a timer for the given node at virtual time now+delay; the
+// node must implement TimerNode or the firing panics. now is the caller's
+// activation time (the now handed to Init/OnMessages/OnTimer), which may be
+// ahead of the simulator clock by the node's compute time. The id is handed
+// back to OnTimer verbatim so nodes can multiplex watchdogs, snapshot ticks
+// and crash schedules over one queue; it must fit an int32. Timers cannot be
+// cancelled — nodes ignore stale firings instead (cheaper than tombstoning
+// inside the heap).
+func (s *Simulator[P]) After(node int, now, delay float64, id int) {
+	if node < 0 || node >= len(s.nodes) {
+		panic(fmt.Sprintf("netsim: After on unknown node %d", node))
+	}
+	if delay <= 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		panic(fmt.Sprintf("netsim: After delay must be positive and finite, got %g", delay))
+	}
+	if int(int32(id)) != id {
+		panic(fmt.Sprintf("netsim: timer id %d does not fit int32", id))
+	}
+	s.seq++
+	s.queue.push(event[P]{
+		time: now + delay,
+		seq:  s.seq,
+		kind: evTimer,
+		node: int32(node),
+		from: int32(id),
+	})
+}
+
 // Now returns the current virtual time.
 func (s *Simulator[P]) Now() float64 { return s.now }
 
@@ -243,17 +297,34 @@ func (s *Simulator[P]) send(from int, now float64, outs []Outgoing[P]) {
 		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
 			panic(fmt.Sprintf("netsim: delay from %d to %d must be positive and finite, got %g", from, o.To, d))
 		}
-		s.seq++
-		s.queue.push(event[P]{
-			time:     now + d,
-			seq:      s.seq,
-			kind:     evArrival,
-			node:     int32(o.To),
-			from:     int32(from),
-			sendTime: now,
-			payload:  o.Payload,
-		})
+		if s.fault == nil {
+			s.pushArrival(from, o.To, now, d, o.Payload)
+			continue
+		}
+		// Fault-injection path: the policy decides how many copies arrive and
+		// after what (possibly jittered or burst-stretched) delays; an empty
+		// fate list drops the message on the floor.
+		for _, fd := range s.fault(from, o.To, now, d) {
+			if fd <= 0 || math.IsNaN(fd) || math.IsInf(fd, 0) {
+				panic(fmt.Sprintf("netsim: fault policy produced invalid delay %g on link %d→%d", fd, from, o.To))
+			}
+			s.pushArrival(from, o.To, now, fd, o.Payload)
+		}
 	}
+}
+
+// pushArrival schedules one delivery of a payload.
+func (s *Simulator[P]) pushArrival(from, to int, now, d float64, payload P) {
+	s.seq++
+	s.queue.push(event[P]{
+		time:     now + d,
+		seq:      s.seq,
+		kind:     evArrival,
+		node:     int32(to),
+		from:     int32(from),
+		sendTime: now,
+		payload:  payload,
+	})
 }
 
 // startNode lets an idle node with a non-empty inbox consume its batch.
@@ -332,6 +403,20 @@ func (s *Simulator[P]) Run(maxTime float64) Stats {
 					s.stats.StoppedEarly = true
 					return s.stats
 				}
+			}
+		case evTimer:
+			// Timers fire regardless of the node's busy state: they model
+			// NIC-level machinery (retransmission watchdogs, crash schedules)
+			// that runs beside the compute loop, not inside it.
+			tn, ok := s.nodes[node].(TimerNode[P])
+			if !ok {
+				panic(fmt.Sprintf("netsim: node %d received a timer but does not implement TimerNode", node))
+			}
+			s.send(node, e.time, tn.OnTimer(e.time, int(e.from)))
+			if s.stop != nil && s.stop(s.now) {
+				s.stats.Time = s.now
+				s.stats.StoppedEarly = true
+				return s.stats
 			}
 		}
 	}
