@@ -94,6 +94,12 @@ func BenchmarkE6ScaleSparse(b *testing.B) { benchmarkExperiment(b, "scale-sparse
 // convergence-time and message overhead of recovery.
 func BenchmarkE7FaultSweep(b *testing.B) { benchmarkExperiment(b, "fault-sweep") }
 
+// BenchmarkE8SolveThroughput regenerates the solve-throughput experiment
+// (E8): batched multi-RHS panel solves versus scalar sweeps at k ∈ {1, 8, 64},
+// the level-scheduled parallel triangular solve versus the sequential sweep,
+// and concurrent clients solving through the shared factor cache.
+func BenchmarkE8SolveThroughput(b *testing.B) { benchmarkExperiment(b, "solve-throughput") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

@@ -14,7 +14,15 @@
 //     (blocked trapezoidal panels over the postordered elimination tree,
 //     with independent subtrees factorised in parallel, deterministically),
 //     plus the auto policy every subdomain and block solver uses, whose
-//     non-SPD fallback chain is sparse-Cholesky → sparse-LDLᵀ → dense LU;
+//     non-SPD fallback chain is sparse-Cholesky → sparse-LDLᵀ → dense LU.
+//     Solves are built for factor-once/solve-many: every sparse backend
+//     sweeps k right-hand sides as one batched panel (SolveBatchTo,
+//     byte-identical per RHS to k scalar sweeps; the supernodal panels run
+//     the packed rank-k kernels — an AVX microkernel on amd64), the
+//     supernodal backend level-schedules a single large triangular solve
+//     across elimination-tree level sets, and a concurrency-safe LRU factor
+//     cache (pattern+values keyed, byte-budgeted) serves repeated
+//     factorisations, optionally shared process-wide via EnableSharedCache;
 //   - internal/graph, internal/partition — the electric graph of a symmetric
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission

@@ -212,6 +212,39 @@ func (s *Subdomain) Solve() float64 {
 	return change
 }
 
+// SolveBatch solves the local system for several incoming-wave sets at once,
+// without disturbing the subdomain's own state: waveSets[s] holds one wave
+// per end (in end order), and the returned X[s] is the local solution the
+// subdomain would reach under wave set s. All right-hand sides sweep the
+// factor together through factor.SolveBatch, so backends implementing
+// factor.BatchSolver stream the factor once per direction instead of once per
+// set — the service path a factor cache front-end uses to answer many
+// boundary scenarios against one factorisation. The incoming waves, the
+// latest solution and the port history are left untouched; only the solve
+// counter advances (by len(waveSets)), since each set costs one
+// forward/backward sweep of work.
+func (s *Subdomain) SolveBatch(waveSets [][]float64) []sparse.Vec {
+	k := len(waveSets)
+	X := make([]sparse.Vec, k)
+	B := make([]sparse.Vec, k)
+	dim := len(s.globalIdx)
+	for i, waves := range waveSets {
+		if len(waves) != len(s.ends) {
+			panic(fmt.Sprintf("core: wave set %d has %d waves for %d ends", i, len(waves), len(s.ends)))
+		}
+		b := sparse.NewVec(dim)
+		b.CopyFrom(s.baseRHS)
+		for e := range s.ends {
+			b[s.ends[e].Port] += s.invZ[e] * waves[e]
+		}
+		B[i] = b
+		X[i] = sparse.NewVec(dim)
+	}
+	factor.SolveBatch(s.solver, X, B)
+	s.solves += k
+	return X
+}
+
 // PortPotential returns the latest potential of local port p.
 func (s *Subdomain) PortPotential(p int) float64 { return s.x[p] }
 

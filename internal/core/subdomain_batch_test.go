@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// TestSubdomainSolveBatch pins the batched what-if service path: SolveBatch
+// must reproduce, byte for byte, the solutions a sequence of Solve calls
+// reaches under the same incoming waves, while leaving the subdomain's own
+// state untouched except for the solve counter.
+func TestSubdomainSolveBatch(t *testing.T) {
+	sys, res := paperTearing(t)
+	prob, err := NewProblem(sys, res, topology.TwoProcessorPaper(), nil)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	subs, _, err := prob.buildSubdomains(paperImpedances(), "")
+	if err != nil {
+		t.Fatalf("buildSubdomains: %v", err)
+	}
+	s0 := subs[0]
+	ne := len(s0.Ends())
+
+	// Reference: drive the subdomain through each wave set with Solve.
+	waveSets := [][]float64{
+		make([]float64, ne), // the zero initial condition
+		{0.7, -0.3},
+		{-1.2, 2.5},
+	}
+	want := make([]sparse.Vec, len(waveSets))
+	for i, ws := range waveSets {
+		copy(s0.incoming, ws)
+		s0.Solve()
+		want[i] = s0.X().Clone()
+	}
+	s0.Reset()
+
+	// Pick a distinguishable resident state, then batch-solve the same sets.
+	copy(s0.incoming, []float64{9.9, -9.9})
+	s0.Solve()
+	residentX := s0.X().Clone()
+	solvesBefore := s0.Solves()
+
+	got := s0.SolveBatch(waveSets)
+	if len(got) != len(waveSets) {
+		t.Fatalf("SolveBatch returned %d solutions for %d wave sets", len(got), len(waveSets))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("set %d entry %d: SolveBatch %g != Solve %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	// The resident state must be untouched; only the counter advances.
+	for j := range residentX {
+		if s0.X()[j] != residentX[j] {
+			t.Fatalf("SolveBatch disturbed the resident solution at %d", j)
+		}
+	}
+	if s0.Incoming(0) != 9.9 || s0.Incoming(1) != -9.9 {
+		t.Fatalf("SolveBatch disturbed the incoming waves: %g %g", s0.Incoming(0), s0.Incoming(1))
+	}
+	if s0.Solves() != solvesBefore+len(waveSets) {
+		t.Fatalf("Solves = %d, want %d", s0.Solves(), solvesBefore+len(waveSets))
+	}
+
+	// A malformed wave set must panic rather than silently misalign ends.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short wave set did not panic")
+		}
+	}()
+	s0.SolveBatch([][]float64{{1.0}})
+}

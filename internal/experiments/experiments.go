@@ -159,6 +159,17 @@ func Registry() map[string]Runner {
 			}
 			return r.Render(w)
 		},
+		"solve-throughput": func(w io.Writer, quick bool) error {
+			p := DefaultSolveThroughputParams()
+			if quick {
+				p = QuickSolveThroughputParams()
+			}
+			r, err := SolveThroughput(p)
+			if err != nil {
+				return err
+			}
+			return r.Render(w)
+		},
 		"fault-sweep": func(w io.Writer, quick bool) error {
 			p := DefaultFaultSweepParams()
 			if quick {
@@ -191,6 +202,6 @@ func Names() []string {
 		"fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
-		"scale-sparse", "fault-sweep",
+		"scale-sparse", "fault-sweep", "solve-throughput",
 	}
 }

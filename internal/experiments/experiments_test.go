@@ -375,3 +375,67 @@ func TestSlowestRoundTrip(t *testing.T) {
 		t.Errorf("slowestRoundTrip = %g, want 100", got)
 	}
 }
+
+func TestSolveThroughputQuickStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solve-throughput experiment skipped in -short mode")
+	}
+	// A reduced configuration: the structural claims (byte-identical level
+	// solve, cache hits for every concurrent client, one cold miss per
+	// system) hold at any size; the speedup numbers are what the full E8
+	// run is for.
+	p := SolveThroughputParams{
+		GridSide:    64,
+		SaddleSide:  32,
+		Ks:          []int{1, 8, 16},
+		Conc:        []int{1, 2},
+		Repeats:     1,
+		CacheBudget: 1 << 30,
+	}
+	res, err := SolveThroughput(p)
+	if err != nil {
+		t.Fatalf("SolveThroughput: %v", err)
+	}
+	if len(res.Systems) != 2 {
+		t.Fatalf("systems = %d, want 2", len(res.Systems))
+	}
+	for _, s := range res.Systems {
+		if len(s.Batch) != len(p.Ks) {
+			t.Fatalf("%s: batch rows = %d, want %d", s.Name, len(s.Batch), len(p.Ks))
+		}
+		for _, b := range s.Batch {
+			if b.ScalarMS <= 0 || b.BatchMS <= 0 {
+				t.Errorf("%s k=%d: non-positive timing (scalar %g, batch %g)", s.Name, b.K, b.ScalarMS, b.BatchMS)
+			}
+		}
+		if !s.ParExact {
+			t.Errorf("%s: level-scheduled solve diverged from the sequential sweep", s.Name)
+		}
+		if s.Levels <= 0 {
+			t.Errorf("%s: levels = %d", s.Name, s.Levels)
+		}
+		for _, c := range s.Conc {
+			if !c.CacheHit {
+				t.Errorf("%s: %d clients missed the shared cache", s.Name, c.Clients)
+			}
+			if c.PerSec <= 0 {
+				t.Errorf("%s: %d clients report %g solves/s", s.Name, c.Clients, c.PerSec)
+			}
+		}
+	}
+	if res.CacheStats.Misses != 2 {
+		t.Errorf("cold misses = %d, want 2 (one per system)", res.CacheStats.Misses)
+	}
+	if res.CacheStats.Hits < 2 {
+		t.Errorf("cache hits = %d, want at least one per concurrency leg", res.CacheStats.Hits)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"speedup", "byte-identical", "all cache hits"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+}

@@ -172,10 +172,24 @@ func SetDefault(name string) error {
 }
 
 // New factorises a with the named backend. An empty name selects Default().
+// When the process-wide factor cache is enabled (EnableSharedCache), New
+// consults it first and factors only on a miss — the factor-once/serve-many
+// path of repeated and concurrent workloads.
 func New(backend string, a *sparse.CSR) (LocalSolver, error) {
 	if backend == "" {
 		backend = Default()
 	}
+	if c := SharedCache(); c != nil {
+		s, _, err := c.GetOrFactor(backend, a)
+		return s, err
+	}
+	return newRaw(backend, a)
+}
+
+// newRaw factorises through the registry, bypassing the shared cache — the
+// path the cache itself (and the auto policy's internal fallback chain, which
+// must not populate the cache with doomed intermediate attempts) uses.
+func newRaw(backend string, a *sparse.CSR) (LocalSolver, error) {
 	regMu.RLock()
 	f, ok := registry[backend]
 	regMu.RUnlock()
@@ -209,9 +223,22 @@ type denseCholSolver struct{ *dense.Cholesky }
 
 func (denseCholSolver) Backend() string { return DenseCholesky }
 
+// FactorBytes estimates the dense factor's footprint (n² stored values).
+func (s denseCholSolver) FactorBytes() int64 {
+	n := int64(s.Dim())
+	return 8 * n * n
+}
+
 type denseLUSolver struct{ *dense.LU }
 
 func (denseLUSolver) Backend() string { return DenseLU }
+
+// FactorBytes estimates the dense LU footprint (factor plus its cached
+// transpose, 16 bytes per entry).
+func (s denseLUSolver) FactorBytes() int64 {
+	n := int64(s.Dim())
+	return 16 * n * n
+}
 
 func newDenseCholesky(a *sparse.CSR) (LocalSolver, error) {
 	if err := DenseFeasible(a.Rows()); err != nil {
@@ -315,11 +342,11 @@ func newAuto(a *sparse.CSR) (LocalSolver, error) {
 		// The supernodal backend runs its own Cholesky → LDLᵀ chain; only a
 		// numerically singular block (zero diagonal pivots) falls out, and
 		// dense LU's row pivoting is the last resort for those.
-		s, err := New(SparseSupernodal, a)
+		s, err := newRaw(SparseSupernodal, a)
 		if err == nil {
 			return s, nil
 		}
-		lu, luErr := New(DenseLU, a)
+		lu, luErr := newRaw(DenseLU, a)
 		if luErr != nil {
 			return nil, fmt.Errorf("factor: auto fallback after %v: %w", err, luErr)
 		}
@@ -329,7 +356,7 @@ func newAuto(a *sparse.CSR) (LocalSolver, error) {
 	if sparsePath {
 		chol = SparseCholesky
 	}
-	s, err := New(chol, a)
+	s, err := newRaw(chol, a)
 	if err == nil {
 		return s, nil
 	}
@@ -339,7 +366,7 @@ func newAuto(a *sparse.CSR) (LocalSolver, error) {
 	// The block is at best SNND. On the sparse path try LDLᵀ first: same
 	// sparse cost model, no definiteness requirement.
 	if sparsePath {
-		ldlt, lErr := New(SparseLDLT, a)
+		ldlt, lErr := newRaw(SparseLDLT, a)
 		if lErr == nil {
 			return ldlt, nil
 		}
@@ -347,7 +374,7 @@ func newAuto(a *sparse.CSR) (LocalSolver, error) {
 		// row pivoting can still succeed where diagonal pivots cannot.
 		err = fmt.Errorf("%v; sparse-ldlt: %w", err, lErr)
 	}
-	lu, luErr := New(DenseLU, a)
+	lu, luErr := newRaw(DenseLU, a)
 	if luErr != nil {
 		return nil, fmt.Errorf("factor: auto fallback after %v: %w", err, luErr)
 	}

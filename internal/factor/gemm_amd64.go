@@ -1,0 +1,23 @@
+//go:build amd64
+
+package factor
+
+// gemmUseAVX reports whether the AVX tile microkernel is usable: the CPU must
+// advertise AVX and the OS must save the YMM state. Checked once at package
+// init; the packed kernels branch on it per tile.
+//
+// The AVX kernel is byte-identical to the pure-Go tile: it evaluates the same
+// multiply and add in the same per-element order over the shared dimension
+// with separate IEEE-754 roundings (VMULPD then VADDPD, never a fused
+// multiply-add — gc does not fuse on amd64 either), so enabling it changes
+// throughput and nothing else.
+var gemmUseAVX = cpuHasAVX()
+
+// cpuHasAVX is implemented in gemm_amd64.s (CPUID + XGETBV).
+func cpuHasAVX() bool
+
+// gemmTileAVX accumulates one 4×4 output tile from k-major 4-wide packed
+// panels: c[j*ldc+i] = Σ_kk ap[kk*4+i]·bp[kk*4+j] for i,j in 0..3, writing the
+// full tile (callers pad c exactly as the pure-Go tile requires). Implemented
+// in gemm_amd64.s.
+func gemmTileAVX(c *float64, ldc int, ap, bp *float64, k int)

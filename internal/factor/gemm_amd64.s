@@ -1,0 +1,108 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XCR0 must
+// have the XMM and YMM state-save bits (1 and 2) set by the OS.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	MOVL	$0, CX
+	CPUID
+	MOVL	CX, AX
+	ANDL	$0x18000000, AX
+	CMPL	AX, $0x18000000
+	JNE	no
+	MOVL	$0, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	no
+	MOVB	$1, ret+0(FP)
+	RET
+no:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func gemmTileAVX(c *float64, ldc int, ap, bp *float64, k int)
+//
+// One 4×4 tile of C = A·Bᵀ from k-major 4-wide packed panels. Column j of the
+// tile is kept in Y(j); every shared-k step loads the four A-lanes once,
+// broadcasts the four B-values, and does an unfused multiply then add per
+// column — the identical per-element operation chain (ascending kk, separate
+// roundings) as the pure-Go microkernel, so results match it byte for byte.
+TEXT ·gemmTileAVX(SB), NOSPLIT, $0-40
+	MOVQ	c+0(FP), DI
+	MOVQ	ldc+8(FP), R8
+	MOVQ	ap+16(FP), SI
+	MOVQ	bp+24(FP), DX
+	MOVQ	k+32(FP), CX
+	SHLQ	$3, R8
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	VXORPD	Y2, Y2, Y2
+	VXORPD	Y3, Y3, Y3
+	TESTQ	CX, CX
+	JZ	store
+	// Two shared-k steps per iteration while at least two remain.
+	MOVQ	CX, BX
+	SHRQ	$1, BX
+	JZ	tail
+loop2:
+	VMOVUPD	(SI), Y4
+	VBROADCASTSD	(DX), Y5
+	VMULPD	Y4, Y5, Y5
+	VADDPD	Y5, Y0, Y0
+	VBROADCASTSD	8(DX), Y6
+	VMULPD	Y4, Y6, Y6
+	VADDPD	Y6, Y1, Y1
+	VBROADCASTSD	16(DX), Y7
+	VMULPD	Y4, Y7, Y7
+	VADDPD	Y7, Y2, Y2
+	VBROADCASTSD	24(DX), Y8
+	VMULPD	Y4, Y8, Y8
+	VADDPD	Y8, Y3, Y3
+	VMOVUPD	32(SI), Y9
+	VBROADCASTSD	32(DX), Y10
+	VMULPD	Y9, Y10, Y10
+	VADDPD	Y10, Y0, Y0
+	VBROADCASTSD	40(DX), Y11
+	VMULPD	Y9, Y11, Y11
+	VADDPD	Y11, Y1, Y1
+	VBROADCASTSD	48(DX), Y12
+	VMULPD	Y9, Y12, Y12
+	VADDPD	Y12, Y2, Y2
+	VBROADCASTSD	56(DX), Y13
+	VMULPD	Y9, Y13, Y13
+	VADDPD	Y13, Y3, Y3
+	ADDQ	$64, SI
+	ADDQ	$64, DX
+	DECQ	BX
+	JNZ	loop2
+tail:
+	ANDQ	$1, CX
+	JZ	store
+	VMOVUPD	(SI), Y4
+	VBROADCASTSD	(DX), Y5
+	VMULPD	Y4, Y5, Y5
+	VADDPD	Y5, Y0, Y0
+	VBROADCASTSD	8(DX), Y6
+	VMULPD	Y4, Y6, Y6
+	VADDPD	Y6, Y1, Y1
+	VBROADCASTSD	16(DX), Y7
+	VMULPD	Y4, Y7, Y7
+	VADDPD	Y7, Y2, Y2
+	VBROADCASTSD	24(DX), Y8
+	VMULPD	Y4, Y8, Y8
+	VADDPD	Y8, Y3, Y3
+store:
+	VMOVUPD	Y0, (DI)
+	ADDQ	R8, DI
+	VMOVUPD	Y1, (DI)
+	ADDQ	R8, DI
+	VMOVUPD	Y2, (DI)
+	ADDQ	R8, DI
+	VMOVUPD	Y3, (DI)
+	VZEROUPPER
+	RET

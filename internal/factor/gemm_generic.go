@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package factor
+
+// Non-amd64 builds always run the pure-Go tile.
+const gemmUseAVX = false
+
+// gemmTileAVX is never called when gemmUseAVX is false; this stub keeps the
+// generic build compiling.
+func gemmTileAVX(c *float64, ldc int, ap, bp *float64, k int) {
+	panic("factor: gemmTileAVX on a build without the AVX kernel")
+}

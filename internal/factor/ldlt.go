@@ -29,14 +29,15 @@ const ldltPivotRelTol = 1e-13
 // at ErrDenseTooLarge, because LDLᵀ tolerates the negative and near-zero
 // pivots that make the Cholesky backends return ErrNotPositiveDefinite.
 type LDLT struct {
-	n       int
-	order   Ordering // the resolved concrete ordering (never OrderAuto)
-	perm    Perm     // perm[new] = old; nil when the ordering is the identity
-	colPtr  []int
-	rowIdx  []int32
-	vals    []float64
-	d       []float64
-	scratch sync.Pool // *sparse.Vec per-call solve scratch (SolveTo is reentrant)
+	n        int
+	order    Ordering // the resolved concrete ordering (never OrderAuto)
+	perm     Perm     // perm[new] = old; nil when the ordering is the identity
+	colPtr   []int
+	rowIdx   []int32
+	vals     []float64
+	d        []float64
+	scratch  sync.Pool // *sparse.Vec per-call solve scratch (SolveTo is reentrant)
+	bscratch sync.Pool // *cscBatchScratch, acquired once per SolveBatchTo call
 }
 
 // NewLDLT factorises the sparse symmetric matrix a under the given ordering
@@ -50,6 +51,7 @@ func NewLDLT(a *sparse.CSR, order Ordering) (*LDLT, error) {
 	n := a.Rows()
 	s := &LDLT{n: n, order: resolveOrdering(a, order)}
 	s.scratch.New = func() any { v := sparse.NewVec(n); return &v }
+	s.bscratch.New = func() any { return new(cscBatchScratch) }
 	c := a
 	if n > 1 {
 		if p := fillReducing(a, s.order); p != nil {
@@ -142,6 +144,12 @@ func (s *LDLT) Ordering() Ordering { return s.order }
 // is implicit and D adds n more values).
 func (s *LDLT) NNZL() int { return len(s.vals) }
 
+// FactorBytes returns the factor's resident memory footprint (values, D, row
+// indices, column pointers, permutation) — the factor cache's budget unit.
+func (s *LDLT) FactorBytes() int64 {
+	return int64(len(s.vals)+len(s.d))*8 + int64(len(s.rowIdx))*4 + int64(len(s.colPtr)+len(s.perm))*8
+}
+
 // Inertia returns the number of positive, negative and exactly-zero pivots
 // of D — by Sylvester's law the inertia of A itself — which is how callers
 // can tell a definite block from a genuine saddle point after the fact.
@@ -225,4 +233,79 @@ func (s *LDLT) SolveTo(x, b sparse.Vec) {
 		copy(x, w)
 	}
 	s.scratch.Put(wp)
+}
+
+// SolveBatchTo solves A·X[r] = B[r] for every right-hand side of the batch
+// with one sweep over the factor per direction instead of k (row-major n×kp
+// panel, contiguous per-column scans). Per right-hand side the operations
+// and their order are exactly SolveTo's — including the zero skip of the
+// unit forward sweep, applied per panel element — so the bytes agree; the
+// scratch is acquired once per batch. X[r] may alias B[r]; reentrant.
+func (s *LDLT) SolveBatchTo(X, B []sparse.Vec) {
+	batchValidate("sparse LDLT", s.n, X, B)
+	if len(B) == 0 {
+		return
+	}
+	if len(B) == 1 {
+		s.SolveTo(X[0], B[0])
+		return
+	}
+	n := s.n
+	for r0 := 0; r0 < len(B); r0 += snBatchMaxK {
+		r1 := r0 + snBatchMaxK
+		if r1 > len(B) {
+			r1 = len(B)
+		}
+		Xp, Bp := X[r0:r1], B[r0:r1]
+		sc := s.bscratch.Get().(*cscBatchScratch)
+		kp := len(Bp)
+		w := growFloats(&sc.w, n*kp)
+		vb := growFloats(&sc.vbuf, kp)
+		batchPanelIn(w, Bp, s.perm, n)
+		// Forward: L Y = P B (unit diagonal). A zero panel element skips its
+		// column scan entry exactly as the scalar sweep skips the column.
+		for j := 0; j < n; j++ {
+			copy(vb, w[j*kp:j*kp+kp])
+			zero := true
+			for _, v := range vb {
+				if v != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				continue
+			}
+			for p := s.colPtr[j]; p < s.colPtr[j+1]; p++ {
+				lv := s.vals[p]
+				dst := w[int(s.rowIdx[p])*kp:]
+				for r, v := range vb {
+					if v != 0 {
+						dst[r] -= lv * v
+					}
+				}
+			}
+		}
+		// Diagonal: Z = D⁻¹ Y.
+		for j := 0; j < n; j++ {
+			dj := s.d[j]
+			base := w[j*kp : j*kp+kp]
+			for r := range base {
+				base[r] /= dj
+			}
+		}
+		// Backward: Lᵀ X = Z, the same columns as dot products per RHS.
+		for j := n - 1; j >= 0; j-- {
+			base := w[j*kp : j*kp+kp]
+			for p := s.colPtr[j]; p < s.colPtr[j+1]; p++ {
+				lv := s.vals[p]
+				src := w[int(s.rowIdx[p])*kp:]
+				for r := range base {
+					base[r] -= lv * src[r]
+				}
+			}
+		}
+		batchPanelOut(w, Xp, s.perm, n)
+		s.bscratch.Put(sc)
+	}
 }

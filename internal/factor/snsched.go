@@ -31,6 +31,61 @@ const (
 	snTaskFanout = 4
 )
 
+// snLevels computes the level sets of the supernodal elimination tree for the
+// level-scheduled triangular solve: level(s) = 0 for leaves, otherwise
+// 1 + max over children. Supernodes on one level are pairwise unrelated in
+// the tree, so their forward (gather-form) and backward steps touch disjoint
+// solution rows and run concurrently without synchronisation; the forward
+// sweep walks levels ascending, the backward sweep descending. levList holds
+// the supernodes grouped by level (ascending within each level, so the
+// traversal order is deterministic), levPtr[l]:levPtr[l+1] delimits level l,
+// and levWork[l] estimates the level's solve flops — the dispatcher runs
+// cheap levels inline rather than paying goroutine handoff for them.
+func snLevels(sym *snSym) (levPtr, levList []int32, levWork []float64) {
+	ns := sym.ns
+	if ns == 0 {
+		return []int32{0}, nil, nil
+	}
+	lev := make([]int32, ns)
+	maxLev := int32(0)
+	for s := 0; s < ns; s++ {
+		// Children precede parents in the postorder, so lev[s] is final here.
+		if lev[s] > maxLev {
+			maxLev = lev[s]
+		}
+		if p := sym.sparent[s]; p != -1 {
+			if l := lev[s] + 1; l > lev[p] {
+				lev[p] = l
+			}
+		}
+	}
+	nlev := int(maxLev) + 1
+	levPtr = make([]int32, nlev+1)
+	levWork = make([]float64, nlev)
+	for s := 0; s < ns; s++ {
+		levPtr[lev[s]+1]++
+		w := float64(sym.sfirst[s+1] - sym.sfirst[s])
+		ld := float64(sym.rx[s+1] - sym.rx[s])
+		work := 2 * w * ld // diagonal-block solve + rectangular sweep, fwd+bwd
+		for _, u := range sym.upd[s] {
+			wd := float64(sym.sfirst[u.d+1] - sym.sfirst[u.d])
+			work += 2 * float64(u.hi-u.lo) * wd
+		}
+		levWork[lev[s]] += work
+	}
+	for l := 0; l < nlev; l++ {
+		levPtr[l+1] += levPtr[l]
+	}
+	levList = make([]int32, ns)
+	fill := make([]int32, nlev)
+	copy(fill, levPtr[:nlev])
+	for s := 0; s < ns; s++ {
+		levList[fill[lev[s]]] = int32(s)
+		fill[lev[s]]++
+	}
+	return levPtr, levList, levWork
+}
+
 // snTask is one independent elimination subtree: the contiguous supernode
 // range [lo, hi) and its estimated numeric cost (the dispatch priority).
 type snTask struct {

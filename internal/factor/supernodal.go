@@ -3,6 +3,7 @@ package factor
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/sparse"
@@ -102,10 +103,29 @@ type Supernodal struct {
 
 	d []float64 // ModeLDLT: the signed pivots in permuted order
 
+	// Retained symbolic structure for the level-scheduled parallel solve: the
+	// supernodal etree, the per-supernode update lists (the gather-form forward
+	// sweep pulls descendant contributions through them), and the level sets
+	// (levList[levPtr[l]:levPtr[l+1]] are the supernodes of level l, ascending;
+	// same-level supernodes share no ancestor/descendant relation, so their
+	// forward/backward steps are write-disjoint).
+	sparent []int32
+	upd     [][]snUpd
+	levPtr  []int32
+	levList []int32
+	levWork []float64 // per-level solve flops, the inline-vs-spawn decision
+	maxLd   int       // longest panel (solve scratch sizing)
+	parOK   bool      // factor is large enough for the level-scheduled solve
+
 	// scratch pools per-call solve buffers (*snSolveScratch), so SolveTo is
 	// reentrant: concurrent solves on one factor — the factor-once/solve-many
-	// pattern of the DTM subdomains — share nothing mutable.
-	scratch sync.Pool
+	// pattern of the DTM subdomains — share nothing mutable. bscratch holds the
+	// batched-solve panels (*snBatchScratch), acquired once per batch; lscratch
+	// holds the level-scheduled solve's working vector and per-worker gather
+	// buffers (*snParScratch).
+	scratch  sync.Pool
+	bscratch sync.Pool
+	lscratch sync.Pool
 
 	// Stats from the symbolic phase / scheduler.
 	nnzStored int     // stored trapezoid entries (incl. amalgamation zeros)
@@ -154,9 +174,16 @@ func NewSupernodal(a *sparse.CSR, order Ordering, mode SupernodalMode) (*Superno
 			maxLd = ld
 		}
 	}
+	s.maxLd = maxLd
+	s.sparent = sym.sparent
+	s.upd = sym.upd
+	s.levPtr, s.levList, s.levWork = snLevels(sym)
+	s.parOK = s.nnzStored >= snParSolveMinNNZ && s.ns >= 2
 	s.scratch.New = func() any {
 		return &snSolveScratch{w: sparse.NewVec(n), g: make([]float64, maxLd)}
 	}
+	s.bscratch.New = func() any { return new(snBatchScratch) }
+	s.lscratch.New = func() any { return &snParScratch{w: sparse.NewVec(n)} }
 
 	if err := s.factorAll(c, sym); err != nil {
 		return nil, err
@@ -616,6 +643,15 @@ func (s *Supernodal) Supernodes() int { return s.ns }
 // (1/0 means the factorisation ran sequentially).
 func (s *Supernodal) Parallelism() (tasks, workers int) { return s.tasks, s.workers }
 
+// ParallelSolveEligible reports whether SolveTo routes to the level-scheduled
+// parallel substitution when more than one CPU is available (the factor is
+// past the size gate and has at least two supernodes).
+func (s *Supernodal) ParallelSolveEligible() bool { return s.parOK }
+
+// SolveLevels returns the number of level sets of the supernodal elimination
+// tree — the critical-path length of the level-scheduled triangular solve.
+func (s *Supernodal) SolveLevels() int { return len(s.levPtr) - 1 }
+
 // Inertia returns the number of positive, negative and exactly-zero pivots,
 // classified by exact sign — the same convention as LDLT.Inertia, so the two
 // backends agree pivot for pivot. In Cholesky mode every pivot is positive by
@@ -634,6 +670,19 @@ func (s *Supernodal) Inertia() (pos, neg, zero int) {
 // ordering comparison and the subtree scheduler partition work by.
 func (s *Supernodal) Flops() float64 { return s.flopsEst }
 
+// FactorBytes returns the factor's resident memory footprint — panels,
+// pivots, row structure and the retained solve schedule — the number the
+// factor cache budgets by.
+func (s *Supernodal) FactorBytes() int64 {
+	b := int64(len(s.panel)+len(s.d)+len(s.levWork))*8 +
+		int64(len(s.rowind)+len(s.sfirst)+len(s.rx)+len(s.sparent)+len(s.levPtr)+len(s.levList))*4 +
+		int64(len(s.px)+len(s.perm))*8
+	for _, u := range s.upd {
+		b += int64(len(u)) * 12
+	}
+	return b
+}
+
 // Solve solves A·x = b and returns x.
 func (s *Supernodal) Solve(b sparse.Vec) sparse.Vec {
 	x := sparse.NewVec(s.n)
@@ -641,12 +690,27 @@ func (s *Supernodal) Solve(b sparse.Vec) sparse.Vec {
 	return x
 }
 
-// SolveTo solves A·x = b into x: permute, supernodal forward substitution
-// (dense triangular solve per diagonal block, gathered rectangular updates),
-// the D⁻¹ scaling in LDLᵀ mode, supernodal backward substitution, permute
-// back. x may alias b. SolveTo is reentrant — all scratch is per call — so
+// SolveTo solves A·x = b into x using the precomputed factor. Large factors
+// route to the level-scheduled parallel substitution when more than one
+// processor is available; everything else runs the sequential sweep. Both
+// paths produce identical bytes (the per-supernode operation order is fixed
+// by the symbolic phase, not by execution order), so the dispatch is pure
+// speed. x may alias b. SolveTo is reentrant — all scratch is per call — so
 // one factor may serve concurrent solves.
 func (s *Supernodal) SolveTo(x, b sparse.Vec) {
+	if s.parOK && runtime.GOMAXPROCS(0) > 1 {
+		s.SolveLevelTo(x, b)
+		return
+	}
+	s.SolveSeqTo(x, b)
+}
+
+// SolveSeqTo solves A·x = b into x on one goroutine: permute, supernodal
+// forward substitution (dense triangular solve per diagonal block, gathered
+// rectangular updates), the D⁻¹ scaling in LDLᵀ mode, supernodal backward
+// substitution, permute back. It is the sequential baseline the level solve
+// and the batched panel solve are byte-identical to.
+func (s *Supernodal) SolveSeqTo(x, b sparse.Vec) {
 	n := s.n
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("factor: supernodal solve dimension mismatch n=%d len(b)=%d len(x)=%d", n, len(b), len(x)))
@@ -701,33 +765,9 @@ func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 			w[j] /= s.d[j]
 		}
 	}
-	// Backward: Lᵀ z = y. Per supernode (descending): gather the ancestor
-	// rows once, then a dense (unit-)upper solve using dot products down the
-	// panel columns.
+	// Backward: Lᵀ z = y, per supernode descending.
 	for sn := s.ns - 1; sn >= 0; sn-- {
-		f := int(s.sfirst[sn])
-		width := int(s.sfirst[sn+1]) - f
-		ld := int(s.rx[sn+1] - s.rx[sn])
-		panel := s.panel[s.px[sn]:s.px[sn+1]]
-		rows := s.rowind[s.rx[sn]:s.rx[sn+1]]
-		g := sc.g[:ld-width]
-		for i := width; i < ld; i++ {
-			g[i-width] = w[rows[i]]
-		}
-		for jj := width - 1; jj >= 0; jj-- {
-			col := panel[jj*ld:]
-			sum := w[f+jj]
-			for i := jj + 1; i < width; i++ {
-				sum -= col[i] * w[f+i]
-			}
-			for i := width; i < ld; i++ {
-				sum -= col[i] * g[i-width]
-			}
-			if !unit {
-				sum /= col[jj]
-			}
-			w[f+jj] = sum
-		}
+		s.backwardSupernode(sn, w, sc.g)
 	}
 	if s.perm != nil {
 		for i, old := range s.perm {
@@ -737,6 +777,48 @@ func (s *Supernodal) SolveTo(x, b sparse.Vec) {
 		copy(x, w)
 	}
 	s.scratch.Put(sc)
+}
+
+// backwardSupernode runs supernode sn's slice of the backward sweep Lᵀ z = y
+// on the permuted working vector w: gather the ancestor rows into g, subtract
+// each column's pre-summed rectangular contribution, then the dense
+// (unit-)upper solve on the diagonal block. It writes only w[f:f+width] and
+// reads only rows solved later in the backward order (ancestors), which is
+// what lets same-level supernodes run concurrently; the rectangular
+// contribution is pre-summed per column (ascending row order) so the batched
+// panel solve's rank-k kernel reproduces it bit for bit.
+func (s *Supernodal) backwardSupernode(sn int, w sparse.Vec, g []float64) {
+	f := int(s.sfirst[sn])
+	width := int(s.sfirst[sn+1]) - f
+	ld := int(s.rx[sn+1] - s.rx[sn])
+	panel := s.panel[s.px[sn]:s.px[sn+1]]
+	rows := s.rowind[s.rx[sn]:s.rx[sn+1]]
+	unit := s.mode == ModeLDLT
+	if m := ld - width; m > 0 {
+		gb := g[:m]
+		for i := 0; i < m; i++ {
+			gb[i] = w[rows[width+i]]
+		}
+		for jj := 0; jj < width; jj++ {
+			col := panel[jj*ld+width:]
+			sum := 0.0
+			for i := 0; i < m; i++ {
+				sum += col[i] * gb[i]
+			}
+			w[f+jj] -= sum
+		}
+	}
+	for jj := width - 1; jj >= 0; jj-- {
+		col := panel[jj*ld:]
+		sum := w[f+jj]
+		for i := jj + 1; i < width; i++ {
+			sum -= col[i] * w[f+i]
+		}
+		if !unit {
+			sum /= col[jj]
+		}
+		w[f+jj] = sum
+	}
 }
 
 // snPivotError builds the deterministic pivot failure for permuted column k.

@@ -18,6 +18,7 @@ type blockData struct {
 	ownPos map[int]int // global -> position in own
 	solver factor.LocalSolver
 	b      sparse.Vec // local right-hand side
+	rhs    sparse.Vec // solveLocal scratch, hoisted so sweeps allocate nothing
 	// ext[i] lists the off-block couplings of owned row i.
 	ext [][]extCoupling
 	// sendTo[q] lists the owned globals that part q needs from us.
@@ -60,6 +61,7 @@ func buildBlocks(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, backe
 		}
 		coo := sparse.NewCOO(dim, dim)
 		blk.b = sparse.NewVec(dim)
+		blk.rhs = sparse.NewVec(dim)
 		blk.ext = make([][]extCoupling, dim)
 		adjacent := map[int]bool{}
 		needFrom := map[int]map[int]bool{} // neighbour part -> set of globals we need
@@ -106,8 +108,7 @@ func buildBlocks(a *sparse.CSR, b sparse.Vec, assign partition.Assignment, backe
 // solveLocal computes the block update given the current global estimate and
 // writes the owned entries of the result into xNew.
 func (blk *blockData) solveLocal(xGlobal sparse.Vec, out sparse.Vec) {
-	dim := len(blk.own)
-	rhs := sparse.NewVec(dim)
+	rhs := blk.rhs
 	for li := range blk.own {
 		s := blk.b[li]
 		for _, c := range blk.ext[li] {
