@@ -100,6 +100,13 @@ func BenchmarkE7FaultSweep(b *testing.B) { benchmarkExperiment(b, "fault-sweep")
 // and concurrent clients solving through the shared factor cache.
 func BenchmarkE8SolveThroughput(b *testing.B) { benchmarkExperiment(b, "solve-throughput") }
 
+// BenchmarkE9CompareDistributed regenerates the distributed-agreement
+// experiment (E9): the same torn problem solved by the DES oracle and by
+// distributed workers over the in-process channel fabric, real TCP loopback
+// connections, and a 5%-drop faulted channel, asserting max-norm agreement
+// within 1e-6 on every leg.
+func BenchmarkE9CompareDistributed(b *testing.B) { benchmarkExperiment(b, "compare-distributed") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

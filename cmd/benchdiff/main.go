@@ -50,6 +50,15 @@ func main() {
 		maxNs        = flag.Float64("max-ns-regress", 0.25, "fail when ns_per_op regresses by more than this fraction")
 		maxAllocs    = flag.Float64("max-allocs-regress", 0.10, "fail when allocs_per_op regresses by more than this fraction")
 	)
+	skip := make(map[string]bool)
+	flag.Func("skip", "experiment to exclude from the gate (repeatable, or comma-separated); skipped rows are reported but never fail", func(v string) error {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				skip[name] = true
+			}
+		}
+		return nil
+	})
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -76,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rows, failed := diff(baseline, current, thresholds{*maxNs, *maxAllocs})
+	rows, failed := diff(baseline, current, thresholds{*maxNs, *maxAllocs}, skip)
 	report := renderMarkdown(rows, thresholds{*maxNs, *maxAllocs}, failed)
 	fmt.Print(report)
 	if *summaryPath != "" {
@@ -122,8 +131,11 @@ func validate(f benchjson.File, path string) error {
 // A baseline experiment missing from the current run fails the gate (the
 // perf frontier must not silently shrink); experiments new in the current run
 // are informational — reported in the summary, exit 0 — so a PR that adds a
-// benchmark does not need a two-step baseline dance to land.
-func diff(baseline, current benchjson.File, th thresholds) ([]row, bool) {
+// benchmark does not need a two-step baseline dance to land. Experiments in
+// skip never gate: their rows are reported as skipped whether present,
+// missing or regressed — the escape hatch for legs a runner cannot execute
+// (e.g. the distributed experiment on a single-core host).
+func diff(baseline, current benchjson.File, th thresholds, skip map[string]bool) ([]row, bool) {
 	cur := make(map[string]benchjson.Record, len(current.Results))
 	for _, r := range current.Results {
 		cur[r.Experiment] = r
@@ -133,7 +145,14 @@ func diff(baseline, current benchjson.File, th thresholds) ([]row, bool) {
 	for _, base := range baseline.Results {
 		r := row{Experiment: base.Experiment, BaseNs: base.NsPerOp, BaseAllocs: base.AllocsOp}
 		c, ok := cur[base.Experiment]
-		if !ok {
+		if skip[base.Experiment] {
+			if ok {
+				r.CurNs, r.CurAlloc = c.NsPerOp, c.AllocsOp
+				r.NsDelta = frac(base.NsPerOp, c.NsPerOp)
+				r.AllocsDelta = frac(base.AllocsOp, c.AllocsOp)
+			}
+			r.Verdict = "skipped (-skip)"
+		} else if !ok {
 			r.Verdict, r.Failed = "missing from current run", true
 		} else {
 			r.CurNs, r.CurAlloc = c.NsPerOp, c.AllocsOp

@@ -17,7 +17,7 @@ func defaultThresholds() thresholds { return thresholds{maxNsRegress: 0.25, maxA
 func TestDiffPassesWithinNoise(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("fig14", 300e6, 90000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 110e6, 21000), bench("fig14", 290e6, 90000)}}
-	rows, failed := diff(baseline, current, defaultThresholds())
+	rows, failed := diff(baseline, current, defaultThresholds(), nil)
 	if failed {
 		t.Fatalf("within-noise run failed: %+v", rows)
 	}
@@ -32,7 +32,7 @@ func TestDiffFailsOnTimeRegression(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
 	// A synthetic 2× slowdown — the demonstration the gate exists for.
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 200e6, 20000)}}
-	rows, failed := diff(baseline, current, defaultThresholds())
+	rows, failed := diff(baseline, current, defaultThresholds(), nil)
 	if !failed {
 		t.Fatal("2x time regression passed the gate")
 	}
@@ -47,7 +47,7 @@ func TestDiffFailsOnTimeRegression(t *testing.T) {
 func TestDiffFailsOnAllocRegression(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 23000)}} // +15% allocs
-	_, failed := diff(baseline, current, defaultThresholds())
+	_, failed := diff(baseline, current, defaultThresholds(), nil)
 	if !failed {
 		t.Fatal("+15% alloc regression passed the gate (limit is +10%)")
 	}
@@ -57,11 +57,11 @@ func TestDiffBoundaries(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("a", 100, 100)}}
 	// Exactly at the limits must pass (the gate fails strictly past them).
 	current := benchjson.File{Results: []benchjson.Record{bench("a", 125, 110)}}
-	if _, failed := diff(baseline, current, defaultThresholds()); failed {
+	if _, failed := diff(baseline, current, defaultThresholds(), nil); failed {
 		t.Error("exactly-at-threshold run failed")
 	}
 	current = benchjson.File{Results: []benchjson.Record{bench("a", 125.1, 110)}}
-	if _, failed := diff(baseline, current, defaultThresholds()); !failed {
+	if _, failed := diff(baseline, current, defaultThresholds(), nil); !failed {
 		t.Error("past-threshold time run passed")
 	}
 }
@@ -69,7 +69,7 @@ func TestDiffBoundaries(t *testing.T) {
 func TestDiffFailsOnMissingExperiment(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("scale-sparse", 400e6, 40000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
-	rows, failed := diff(baseline, current, defaultThresholds())
+	rows, failed := diff(baseline, current, defaultThresholds(), nil)
 	if !failed {
 		t.Fatal("a baseline experiment vanished and the gate passed")
 	}
@@ -91,7 +91,7 @@ func TestDiffFailsOnMissingExperiment(t *testing.T) {
 func TestDiffReportsNewExperiments(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000), bench("brand-new", 1e6, 10)}}
-	rows, failed := diff(baseline, current, defaultThresholds())
+	rows, failed := diff(baseline, current, defaultThresholds(), nil)
 	if failed {
 		t.Fatal("a new experiment must not fail the gate")
 	}
@@ -140,6 +140,43 @@ func TestValidateRejectsUnusableMeasurements(t *testing.T) {
 	}
 }
 
+// TestDiffSkipExcludesExperiment pins the -skip escape hatch: a skipped
+// experiment never gates — not when it regresses, and not when it is missing
+// from the current run entirely (the single-core-host case for the
+// distributed experiment) — while everything else still gates normally.
+func TestDiffSkipExcludesExperiment(t *testing.T) {
+	skip := map[string]bool{"compare-distributed": true}
+	baseline := benchjson.File{Results: []benchjson.Record{
+		bench("fig12", 100e6, 20000), bench("compare-distributed", 100e6, 20000),
+	}}
+
+	// Regressed but skipped: reported, not failed.
+	current := benchjson.File{Results: []benchjson.Record{
+		bench("fig12", 100e6, 20000), bench("compare-distributed", 400e6, 90000),
+	}}
+	rows, failed := diff(baseline, current, defaultThresholds(), skip)
+	if failed {
+		t.Fatalf("skipped regression failed the gate: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Experiment == "compare-distributed" && r.Verdict != "skipped (-skip)" {
+			t.Errorf("verdict %q, want skipped", r.Verdict)
+		}
+	}
+
+	// Missing and skipped: still passes.
+	current = benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
+	if _, failed := diff(baseline, current, defaultThresholds(), skip); failed {
+		t.Fatal("skipped missing experiment failed the gate")
+	}
+
+	// A non-skipped regression must still fail alongside a skipped one.
+	current = benchjson.File{Results: []benchjson.Record{bench("fig12", 300e6, 20000)}}
+	if _, failed := diff(baseline, current, defaultThresholds(), skip); !failed {
+		t.Fatal("-skip must not mask other experiments' regressions")
+	}
+}
+
 func TestFracZeroBaseline(t *testing.T) {
 	if f := frac(0, 0); f != 0 {
 		t.Errorf("frac(0,0) = %g, want 0", f)
@@ -152,7 +189,7 @@ func TestFracZeroBaseline(t *testing.T) {
 func TestRenderMarkdownShape(t *testing.T) {
 	baseline := benchjson.File{Results: []benchjson.Record{bench("fig12", 100e6, 20000)}}
 	current := benchjson.File{Results: []benchjson.Record{bench("fig12", 250e6, 20000)}}
-	rows, failed := diff(baseline, current, defaultThresholds())
+	rows, failed := diff(baseline, current, defaultThresholds(), nil)
 	md := renderMarkdown(rows, defaultThresholds(), failed)
 	for _, want := range []string{"## Benchmark regression gate", "| fig12 |", "FAIL", "re-baseline"} {
 		if !strings.Contains(md, want) {

@@ -1,0 +1,372 @@
+// Command dtmd is the distributed DTM server. Each dtmd process is one
+// member of a TCP fabric: worker members own a contiguous group of
+// subdomains (factorised once, reused across solve sessions via the shared
+// factor cache), and one coordinator member tears the problem, assigns the
+// shards, drives the asynchronous exchange to quiescence and assembles the
+// solution. The wire protocol is the DES engine's wavePacket shape plus the
+// sequence-numbered recovery protocol, so dropped packets and broken
+// connections cost time, never correctness.
+//
+// Modes:
+//
+//	worker (default):
+//	    dtmd -self 1 -peers "0=host:9000,1=host:9001,2=host:9002"
+//	  listens on its own peer address and serves solve sessions until
+//	  shutdown.
+//
+//	coordinate:
+//	    dtmd -coordinate -self 0 -peers "..." -workers 1,2 \
+//	         -rows 33 -cols 33 -px 2 -py 2 -tol 1e-9
+//	  assigns the spec'd problem across the listed worker members, waits for
+//	  quiescence, prints the result, and shuts the workers down (unless
+//	  -keep-workers).
+//
+//	selftest:
+//	    dtmd -selftest -nworkers 2 [-drop 0.05]
+//	  spawns real dtmd worker processes on loopback, coordinates a quick
+//	  problem against them, and exits 0 iff the distributed solution matches
+//	  the in-process DES oracle to 1e-6. This is the CI distributed smoke
+//	  test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/dist"
+	"repro/internal/factor"
+	"repro/internal/transport"
+)
+
+type options struct {
+	self        int
+	peers       string
+	coordinate  bool
+	selftest    bool
+	workers     string
+	nworkers    int
+	keepWorkers bool
+
+	rows, cols    int
+	seed          int64
+	px, py        int
+	topo          string
+	delay         float64
+	tol           float64
+	localSolver   string
+	sendThreshold float64
+	watchdogMS    int
+	pollMS        int
+	timeout       time.Duration
+	drop          float64
+	cacheMB       int64
+	verbose       bool
+	printX        bool
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.self, "self", 0, "this process's member id")
+	flag.StringVar(&o.peers, "peers", "", `fabric address map, "id=host:port,id=host:port,..."`)
+	flag.BoolVar(&o.coordinate, "coordinate", false, "run as coordinator instead of worker")
+	flag.BoolVar(&o.selftest, "selftest", false, "spawn real worker processes on loopback and verify against the DES oracle")
+	flag.StringVar(&o.workers, "workers", "", `coordinator: comma-separated worker member ids (default "all peers but self")`)
+	flag.IntVar(&o.nworkers, "nworkers", 2, "selftest: number of worker processes to spawn")
+	flag.BoolVar(&o.keepWorkers, "keep-workers", false, "coordinator: leave workers running after the solve")
+	flag.IntVar(&o.rows, "rows", 17, "problem spec: grid rows")
+	flag.IntVar(&o.cols, "cols", 17, "problem spec: grid cols")
+	flag.Int64Var(&o.seed, "seed", 3, "problem spec: generator seed")
+	flag.IntVar(&o.px, "px", 2, "problem spec: parts along x")
+	flag.IntVar(&o.py, "py", 2, "problem spec: parts along y")
+	flag.StringVar(&o.topo, "topo", "uniform", "problem spec: topology (uniform, mesh4x4, mesh8x8, ring)")
+	flag.Float64Var(&o.delay, "delay", 10, "problem spec: uniform/ring link delay")
+	flag.Float64Var(&o.tol, "tol", 1e-9, "quiescence tolerance")
+	flag.StringVar(&o.localSolver, "local-solver", "", "factor backend for the local solves (empty for default)")
+	flag.Float64Var(&o.sendThreshold, "send-threshold", 0, "wave re-announcement suppression threshold (default tol/100)")
+	flag.IntVar(&o.watchdogMS, "watchdog-ms", 50, "worker retransmission sweep interval")
+	flag.IntVar(&o.pollMS, "poll-ms", 10, "coordinator status poll interval")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "coordinator/selftest deadline")
+	flag.Float64Var(&o.drop, "drop", 0, "inject this wave-drop probability on this member's sends (testing)")
+	flag.Int64Var(&o.cacheMB, "cache-mb", 64, "shared factor cache budget in MiB (0 disables)")
+	flag.BoolVar(&o.verbose, "v", false, "log progress")
+	flag.BoolVar(&o.printX, "print-x", false, "coordinator: print the assembled solution vector")
+	flag.Parse()
+
+	if err := run(&o); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o *options) error {
+	if o.selftest {
+		return selftest(o)
+	}
+	addrs, err := parsePeers(o.peers)
+	if err != nil {
+		return err
+	}
+	if _, ok := addrs[o.self]; !ok {
+		return fmt.Errorf("-peers does not list -self %d", o.self)
+	}
+	if o.cacheMB > 0 {
+		factor.EnableSharedCache(o.cacheMB << 20)
+		defer factor.DisableSharedCache()
+	}
+	tr, err := transport.NewTCP(o.self, addrs)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	if o.coordinate {
+		return coordinate(o, tr, addrs)
+	}
+	return worker(o, tr)
+}
+
+// worker serves solve sessions until shutdown, SIGINT or SIGTERM.
+func worker(o *options, tr transport.Transport) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	wtr := tr
+	if o.drop > 0 {
+		spec := &chaos.Spec{Drop: o.drop, Seed: int64(1000 + o.self)}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		wtr = transport.WithFaults(tr, spec, len(tr.Peers())+1, 100*time.Microsecond)
+		defer wtr.Close()
+	}
+	w := dist.NewWorker(wtr)
+	if o.verbose {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dtmd: "+format+"\n", args...)
+		}
+	}
+	fmt.Printf("dtmd: worker %d listening\n", tr.Self())
+	return w.Run(ctx)
+}
+
+// coordinate runs one distributed solve and reports it.
+func coordinate(o *options, tr transport.Transport, addrs map[int]string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	workers, err := workerIDs(o, addrs)
+	if err != nil {
+		return err
+	}
+	spec := dist.ProblemSpec{
+		Rows: o.rows, Cols: o.cols, Seed: o.seed,
+		PartsX: o.px, PartsY: o.py, Topology: o.topo, Delay: o.delay,
+	}
+	start := time.Now()
+	res, err := dist.Coordinate(ctx, tr, dist.CoordConfig{
+		Spec: spec, Workers: workers, Tol: o.tol,
+		LocalSolver: o.localSolver, SendThreshold: o.sendThreshold,
+		WatchdogMS:   o.watchdogMS,
+		PollInterval: time.Duration(o.pollMS) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged        %v\n", res.Converged)
+	fmt.Printf("wall time        %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("workers          %d (parts %d)\n", len(workers), spec.Parts())
+	fmt.Printf("solves           %d\n", res.Solves)
+	fmt.Printf("messages         %d\n", res.Messages)
+	fmt.Printf("polls            %d\n", res.Polls)
+	fmt.Printf("max last change  %.3e\n", res.MaxLastChange)
+	fmt.Printf("twin gap         %.3e\n", res.TwinGap)
+	if o.printX {
+		for i, v := range res.X {
+			fmt.Printf("x[%d] = %.12g\n", i, v)
+		}
+	}
+	if !o.keepWorkers {
+		shutdownWorkers(tr, workers)
+	}
+	if !res.Converged {
+		return fmt.Errorf("did not converge within %v", o.timeout)
+	}
+	return nil
+}
+
+func shutdownWorkers(tr transport.Transport, workers []int) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, w := range workers {
+		_ = dist.Shutdown(ctx, tr, w)
+	}
+}
+
+// selftest spawns real dtmd worker processes over loopback TCP, coordinates
+// a quick problem against them (optionally with injected wave drop), and
+// verifies the assembled solution against the in-process DES oracle.
+func selftest(o *options) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	n := o.nworkers
+	if n < 1 {
+		return fmt.Errorf("-nworkers must be >= 1")
+	}
+	// Reserve loopback ports: bind, record, release. SO_REUSEADDR makes the
+	// immediate rebind by the child reliable on loopback.
+	addrs := make(map[int]string, n+1)
+	for id := 0; id <= n; id++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := formatPeers(addrs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	var procs []*exec.Cmd
+	defer func() {
+		for _, c := range procs {
+			if c.Process != nil {
+				_ = c.Process.Kill()
+			}
+			_ = c.Wait()
+		}
+	}()
+	for id := 1; id <= n; id++ {
+		args := []string{
+			"-self", strconv.Itoa(id), "-peers", peers,
+			"-cache-mb", strconv.FormatInt(o.cacheMB, 10),
+		}
+		if o.drop > 0 {
+			args = append(args, "-drop", strconv.FormatFloat(o.drop, 'g', -1, 64))
+		}
+		if o.verbose {
+			args = append(args, "-v")
+		}
+		cmd := exec.CommandContext(ctx, self, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawning worker %d: %w", id, err)
+		}
+		procs = append(procs, cmd)
+	}
+
+	tr, err := transport.NewTCP(0, addrs)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	workers := make([]int, n)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	spec := dist.ProblemSpec{
+		Rows: o.rows, Cols: o.cols, Seed: o.seed,
+		PartsX: o.px, PartsY: o.py, Topology: o.topo, Delay: o.delay,
+	}
+	res, err := dist.Coordinate(ctx, tr, dist.CoordConfig{
+		Spec: spec, Workers: workers, Tol: o.tol,
+		LocalSolver: o.localSolver, SendThreshold: o.sendThreshold,
+		WatchdogMS:   o.watchdogMS,
+		PollInterval: time.Duration(o.pollMS) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	shutdownWorkers(tr, workers)
+	if !res.Converged {
+		return fmt.Errorf("selftest: distributed run did not converge (polls=%d maxChange=%g gap=%g)",
+			res.Polls, res.MaxLastChange, res.TwinGap)
+	}
+	oracle, err := spec.Oracle(o.tol, o.localSolver)
+	if err != nil {
+		return err
+	}
+	d := 0.0
+	for i := range res.X {
+		d = math.Max(d, math.Abs(res.X[i]-oracle.X[i]))
+	}
+	mode := "clean"
+	if o.drop > 0 {
+		mode = fmt.Sprintf("drop=%g", o.drop)
+	}
+	if d > 1e-6 {
+		return fmt.Errorf("selftest FAIL (%s): distributed X differs from DES oracle by %g (> 1e-6)", mode, d)
+	}
+	fmt.Printf("selftest PASS (%s): %d worker processes, %d parts, max |x_dist - x_des| = %.3e, %d solves, %d messages\n",
+		mode, n, spec.Parts(), d, res.Solves, res.Messages)
+	return nil
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf(`-peers is required (e.g. "0=host:9000,1=host:9001")`)
+	}
+	addrs := make(map[int]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad member id in -peers entry %q", part)
+		}
+		addrs[id] = kv[1]
+	}
+	return addrs, nil
+}
+
+func formatPeers(addrs map[int]string) string {
+	ids := make([]int, 0, len(addrs))
+	for id := range addrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addrs[id]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func workerIDs(o *options, addrs map[int]string) ([]int, error) {
+	if strings.TrimSpace(o.workers) == "" {
+		var ws []int
+		for id := range addrs {
+			if id != o.self {
+				ws = append(ws, id)
+			}
+		}
+		sort.Ints(ws)
+		if len(ws) == 0 {
+			return nil, fmt.Errorf("no workers: -peers lists only -self")
+		}
+		return ws, nil
+	}
+	var ws []int
+	for _, part := range strings.Split(o.workers, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		ws = append(ws, id)
+	}
+	return ws, nil
+}

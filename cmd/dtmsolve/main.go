@@ -297,7 +297,10 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveDTM(prob, core.Options{MaxTime: o.maxTime, Tol: o.tol, LocalSolver: o.localSolver, Faults: spec})
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{Tol: o.tol, LocalSolver: o.localSolver, Faults: spec},
+			MaxTime:       o.maxTime,
+		})
 		if err != nil {
 			return nil, "", err
 		}
@@ -308,7 +311,11 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveVTM(prob, core.VTMOptions{MaxIterations: o.maxIter, Tol: o.tol, LocalSolver: o.localSolver})
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{Tol: o.tol, LocalSolver: o.localSolver},
+			Engine:        core.EngineVTM,
+			MaxIterations: o.maxIter,
+		})
 		if err != nil {
 			return nil, "", err
 		}
@@ -319,13 +326,12 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		res, err := core.SolveMixed(prob, core.MixedOptions{
-			MaxTime:     o.maxTime,
-			AsyncWindow: o.maxTime / 20,
-			SyncSweeps:  1,
-			Tol:         o.tol,
-			LocalSolver: o.localSolver,
-			Faults:      spec,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{Tol: o.tol, LocalSolver: o.localSolver, Faults: spec},
+			Engine:        core.EngineMixed,
+			MaxTime:       o.maxTime,
+			AsyncWindow:   o.maxTime / 20,
+			SyncSweeps:    1,
 		})
 		if err != nil {
 			return nil, "", err
@@ -341,12 +347,13 @@ func solve(o options, sys sparse.System) (sparse.Vec, string, error) {
 		if o.timeout > 0 {
 			wall = o.timeout
 		}
-		res, err := core.SolveLive(context.Background(), prob, core.LiveOptions{
-			MaxWallTime: wall,
-			TimeScale:   20 * time.Microsecond,
-			Tol:         o.tol,
-			LocalSolver: o.localSolver,
-			Faults:      spec,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Tol: o.tol, LocalSolver: o.localSolver, Faults: spec,
+				MaxWallTime: wall,
+			},
+			Engine:    core.EngineLive,
+			TimeScale: 20 * time.Microsecond,
 		})
 		if errors.Is(err, core.ErrDeadlineExceeded) {
 			// Still report the partial result; the residual line tells the

@@ -31,17 +31,29 @@
 //     fault spec (drop/duplicate/jitter probabilities, link-down and
 //     slow-link windows, crash-restart schedules) and the seeded per-link
 //     controller that assigns every send a reproducible fate;
-//   - internal/core — the DTM solver itself (asynchronous DES engine, live
-//     goroutine engine, and the synchronous VTM special case), including the
-//     recovery protocol both engines run under injected faults: sequence
+//   - internal/core — the DTM solver itself behind the context-first
+//     core.Solve(ctx, p, cfg) entry point, whose Config selects the engine:
+//     the asynchronous DES engine (default), the live goroutine engine, the
+//     synchronous VTM special case and the mixed GALS variant; including the
+//     recovery protocol the engines run under injected faults: sequence
 //     numbers with last-writer-wins dedup, watchdog retransmission with
-//     backoff, and crash-restart from periodic snapshots;
+//     backoff, and crash-restart from periodic snapshots (the pre-Config
+//     SolveDTM/SolveVTM/SolveMixed/SolveLive wrappers remain, deprecated and
+//     byte-identical);
+//   - internal/transport — the datagram fabric distributed DTM runs on: an
+//     in-process channel implementation and a length-prefixed binary TCP
+//     implementation with reconnect backoff, under one conformance-tested
+//     Transport interface, plus the chaos fault decorator;
+//   - internal/dist — coordinator/worker distributed DTM over a Transport:
+//     deterministic re-tearing from a ProblemSpec, sharded subdomain
+//     ownership, watchdog retransmission and the distributed stopping rule;
 //   - internal/iterative — the classical baselines (CG, Jacobi, Gauss–Seidel,
 //     SOR, synchronous and asynchronous block-Jacobi);
 //   - internal/experiments — one entry point per figure/table of the paper's
 //     evaluation plus the comparisons and ablations of DESIGN.md.
 //
-// The executables cmd/dtmsolve, cmd/dtmbench and cmd/dtmgen and the programs
-// under examples/ exercise the same packages; bench_test.go at the module root
-// regenerates every experiment as a testing.B benchmark.
+// The executables cmd/dtmsolve, cmd/dtmbench, cmd/dtmgen and cmd/dtmd (the
+// distributed DTM server) and the programs under examples/ exercise the same
+// packages; bench_test.go at the module root regenerates every experiment as
+// a testing.B benchmark.
 package repro

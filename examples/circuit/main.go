@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -64,7 +65,10 @@ func main() {
 	}
 	fmt.Println(core.CheckTheorem(prob, 1e-10, 400))
 
-	dtmRes, err := core.SolveDTM(prob, core.Options{MaxTime: 50000, Tol: 1e-10})
+	dtmRes, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{Tol: 1e-10},
+		MaxTime:       50000,
+	})
 	if err != nil {
 		log.Fatalf("running DTM: %v", err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -56,11 +57,13 @@ func main() {
 	fmt.Printf("system %q: n=%d; %s\n\n", sys.Name, sys.Dim(), core.CheckTheorem(prob, 1e-9, 400))
 
 	// Asynchronous DTM on the heterogeneous machine.
-	dtmRes, err := core.SolveDTM(prob, core.Options{
-		MaxTime:     12000,
-		Exact:       exact,
-		StopOnError: 1e-8,
-		RecordTrace: true,
+	dtmRes, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       exact,
+			StopOnError: 1e-8,
+			RecordTrace: true,
+		},
+		MaxTime: 12000,
 	})
 	if err != nil {
 		log.Fatalf("running DTM: %v", err)
@@ -70,11 +73,14 @@ func main() {
 
 	// The synchronous special case (VTM) as the reference point: fewer sweeps,
 	// but on this machine every sweep costs the slowest round-trip.
-	vtmRes, err := core.SolveVTM(prob, core.VTMOptions{
+	vtmRes, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       exact,
+			StopOnError: 1e-8,
+			RecordTrace: true,
+		},
+		Engine:        core.EngineVTM,
 		MaxIterations: 2000,
-		Exact:         exact,
-		StopOnError:   1e-8,
-		RecordTrace:   true,
 	})
 	if err != nil {
 		log.Fatalf("running VTM: %v", err)

@@ -52,13 +52,16 @@ func main() {
 	fmt.Println()
 
 	for run := 1; run <= *runs; run++ {
-		res, err := core.SolveLive(context.Background(), prob, core.LiveOptions{
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Tol:         1e-9,
+				Exact:       exact,
+				RecordTrace: true,
+				MaxWallTime: 5 * time.Second,
+			},
+			Engine:       core.EngineLive,
 			TimeScale:    20 * time.Microsecond,
-			MaxWallTime:  5 * time.Second,
-			Tol:          1e-9,
-			Exact:        exact,
 			PollInterval: time.Millisecond,
-			RecordTrace:  true,
 		})
 		if err != nil {
 			log.Fatalf("live run %d: %v", run, err)
@@ -70,13 +73,16 @@ func main() {
 	// One more run on a lossy network: every channel drops 10% of its packets
 	// and jitters the rest, and the run still lands on the same answer — the
 	// self-stabilisation claim, live.
-	res, err := core.SolveLive(context.Background(), prob, core.LiveOptions{
+	res, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Tol:         1e-9,
+			Exact:       exact,
+			Faults:      &chaos.Spec{Seed: 7, Drop: 0.10, Jitter: 0.5},
+			MaxWallTime: 10 * time.Second,
+		},
+		Engine:       core.EngineLive,
 		TimeScale:    20 * time.Microsecond,
-		MaxWallTime:  10 * time.Second,
-		Tol:          1e-9,
-		Exact:        exact,
 		PollInterval: time.Millisecond,
-		Faults:       &chaos.Spec{Seed: 7, Drop: 0.10, Jitter: 0.5},
 	})
 	if err != nil {
 		log.Fatalf("lossy live run: %v", err)

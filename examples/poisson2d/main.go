@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,11 +53,13 @@ func main() {
 	}
 	fmt.Println(core.CheckTheorem(prob, 1e-9, 400))
 
-	res, err := core.SolveDTM(prob, core.Options{
-		MaxTime:     *maxTime,
-		Exact:       exact,
-		StopOnError: 1e-8,
-		RecordTrace: true,
+	res, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       exact,
+			StopOnError: 1e-8,
+			RecordTrace: true,
+		},
+		MaxTime: *maxTime,
 	})
 	if err != nil {
 		log.Fatalf("running DTM: %v", err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,9 +51,9 @@ func main() {
 
 	// Run DTM on the deterministic discrete-event engine until the twin
 	// potentials agree to 1e-10.
-	res, err := core.SolveDTM(prob, core.Options{
-		MaxTime: 500, // microseconds of virtual time
-		Tol:     1e-10,
+	res, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{Tol: 1e-10},
+		MaxTime:       500, // microseconds of virtual time
 	})
 	if err != nil {
 		log.Fatalf("running DTM: %v", err)

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// The deprecated Solve* wrappers are documented to produce byte-identical
+// results to the unified core.Solve. These tests pin that contract: every
+// engine is run through both entry points on the same problem and the results
+// are compared field by field, bit for bit.
+
+func compatProblem(t *testing.T) *Problem {
+	t.Helper()
+	sys := sparse.RandomGridSPD(13, 13, 7)
+	prob, err := GridProblem(sys, 13, 13, 4, 4, topology.Mesh4x4Paper())
+	if err != nil {
+		t.Fatalf("GridProblem: %v", err)
+	}
+	return prob
+}
+
+func sameTrace(t *testing.T, a, b []TracePoint) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Bitwise on the float fields: NaN (no exact solution) must compare
+		// equal to itself.
+		if math.Float64bits(a[i].Time) != math.Float64bits(b[i].Time) ||
+			math.Float64bits(a[i].RMSError) != math.Float64bits(b[i].RMSError) ||
+			math.Float64bits(a[i].TwinGap) != math.Float64bits(b[i].TwinGap) ||
+			a[i].Solves != b[i].Solves || a[i].Messages != b[i].Messages {
+			t.Fatalf("trace point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func sameVec(t *testing.T, a, b sparse.Vec) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("X lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("X[%d] differs bitwise: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSolveDTMWrapperMatchesSolve(t *testing.T) {
+	prob := compatProblem(t)
+	exact, err := dense.SolveExact(prob.System.A, prob.System.B)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	opts := Options{MaxTime: 4000, Tol: 1e-7, Exact: exact, RecordTrace: true}
+
+	old, err := SolveDTM(prob, opts)
+	if err != nil {
+		t.Fatalf("SolveDTM: %v", err)
+	}
+	nu, err := Solve(context.Background(), prob, opts.Config())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if old.Solves != nu.Solves || old.Messages != nu.Messages ||
+		old.FinalTime != nu.FinalTime || old.TwinGap != nu.TwinGap ||
+		old.Converged != nu.Converged {
+		t.Fatalf("scalar fields differ:\nold %+v\nnew %+v", old, nu)
+	}
+	sameVec(t, old.X, nu.X)
+	sameTrace(t, old.Trace, nu.Trace)
+}
+
+func TestSolveDTMWrapperMatchesSolveFaulted(t *testing.T) {
+	prob := compatProblem(t)
+	spec, err := chaos.ParseSpec("drop=0.1,dup=0.05,seed=42")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	opts := Options{MaxTime: 6000, Tol: 1e-7, Faults: spec, RecordTrace: true}
+
+	old, err := SolveDTM(prob, opts)
+	if err != nil {
+		t.Fatalf("SolveDTM: %v", err)
+	}
+	nu, err := Solve(context.Background(), prob, opts.Config())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if old.Solves != nu.Solves || old.Messages != nu.Messages ||
+		old.FinalTime != nu.FinalTime || old.TwinGap != nu.TwinGap {
+		t.Fatalf("scalar fields differ:\nold %+v\nnew %+v", old, nu)
+	}
+	if old.Faults == nil || nu.Faults == nil || *old.Faults != *nu.Faults {
+		t.Fatalf("fault stats differ: %+v vs %+v", old.Faults, nu.Faults)
+	}
+	sameVec(t, old.X, nu.X)
+	sameTrace(t, old.Trace, nu.Trace)
+}
+
+func TestSolveVTMWrapperMatchesSolve(t *testing.T) {
+	prob := compatProblem(t)
+	exact, err := dense.SolveExact(prob.System.A, prob.System.B)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	opts := VTMOptions{MaxIterations: 400, Tol: 1e-8, Exact: exact, RecordTrace: true}
+
+	old, err := SolveVTM(prob, opts)
+	if err != nil {
+		t.Fatalf("SolveVTM: %v", err)
+	}
+	nu, err := Solve(context.Background(), prob, opts.Config())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if old.Iterations != nu.Iterations || old.Converged != nu.Converged ||
+		old.TwinGap != nu.TwinGap || old.Residual != nu.Residual {
+		t.Fatalf("scalar fields differ:\nold %+v\nnew %+v", old, nu)
+	}
+	sameVec(t, old.X, nu.X)
+	sameTrace(t, old.Trace, nu.Trace)
+}
+
+func TestSolveMixedWrapperMatchesSolve(t *testing.T) {
+	prob := compatProblem(t)
+	exact, err := dense.SolveExact(prob.System.A, prob.System.B)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	opts := MixedOptions{MaxTime: 4000, AsyncWindow: 300, SyncSweeps: 2, Tol: 1e-7, Exact: exact, RecordTrace: true}
+
+	old, err := SolveMixed(prob, opts)
+	if err != nil {
+		t.Fatalf("SolveMixed: %v", err)
+	}
+	nu, err := Solve(context.Background(), prob, opts.Config())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if old.AsyncPhases != nu.AsyncPhases || old.SyncSweepsDone != nu.SyncSweepsDone ||
+		old.Solves != nu.Solves || old.Messages != nu.Messages ||
+		old.FinalTime != nu.FinalTime || old.TwinGap != nu.TwinGap {
+		t.Fatalf("scalar fields differ:\nold %+v\nnew %+v", old, nu)
+	}
+	sameVec(t, old.X, nu.X)
+	sameTrace(t, old.Trace, nu.Trace)
+}
+
+// TestSolveContextCancellation checks the context-first contract: a
+// pre-cancelled context ends a DES run immediately with ErrDeadlineExceeded
+// and a valid partial result.
+func TestSolveContextCancellation(t *testing.T) {
+	prob := compatProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Solve(ctx, prob, Config{
+		CommonOptions: CommonOptions{Tol: 1e-10},
+		MaxTime:       4000,
+	})
+	if err != ErrDeadlineExceeded {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatalf("want non-converged partial result, got %+v", res)
+	}
+}

@@ -184,9 +184,9 @@ func TestSubdomainAccessorsAndWaves(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewProblem: %v", err)
 	}
-	subs, zs, err := prob.buildSubdomains(paperImpedances(), "")
+	subs, zs, err := prob.BuildSubdomains(paperImpedances(), "")
 	if err != nil {
-		t.Fatalf("buildSubdomains: %v", err)
+		t.Fatalf("BuildSubdomains: %v", err)
 	}
 	if len(zs) != 2 {
 		t.Fatalf("impedances = %v", zs)

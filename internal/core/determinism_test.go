@@ -113,20 +113,21 @@ func TestIncrementalTwinGapMatchesFullScan(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GridProblem: %v", err)
 	}
-	opts := Options{MaxTime: 800, Tol: 1e-7}
-	subs, _, err := prob.buildSubdomains(opts.impedance(), opts.LocalSolver)
+	cfg := Options{MaxTime: 800, Tol: 1e-7}.Config()
+	cfg.normalize()
+	subs, _, err := prob.BuildSubdomains(cfg.Impedance, cfg.LocalSolver)
 	if err != nil {
-		t.Fatalf("buildSubdomains: %v", err)
+		t.Fatalf("BuildSubdomains: %v", err)
 	}
-	eng := newEngine(prob, &opts, subs)
-	compute := opts.computeTimeFn(prob)
+	eng := newEngine(prob, &cfg, subs)
+	compute := cfg.computeTimeFn(prob)
 	nodes := make([]netsim.Node[wavePacket], len(subs))
 	for i, s := range subs {
 		nodes[i] = newDTMNode(eng, s, compute)
 	}
 	sim := netsim.New(nodes, func(from, to int) float64 { return prob.Delay(from, to) })
 	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop(now) })
-	sim.Run(opts.MaxTime)
+	sim.Run(cfg.MaxTime)
 
 	full := 0.0
 	for _, l := range prob.Partition.Links {

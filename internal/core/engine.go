@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/netsim"
@@ -32,7 +33,7 @@ type waveEntry struct {
 // incrementally maintained assembled solution and error, and the trace.
 type engine struct {
 	prob *Problem
-	opts *Options
+	cfg  *Config
 	subs []*Subdomain
 
 	// ownerOf[part] lists the (local index, global index) pairs the part owns
@@ -76,6 +77,9 @@ type engine struct {
 	trace     []TracePoint
 	messages  int
 	converged bool
+	// interrupted is set when the caller's ctx (or the MaxWallTime deadline)
+	// ended the run before a stopping rule fired.
+	interrupted bool
 
 	// timeOffset is added to every recorded trace time; the mixed sync/async
 	// engine uses it to stitch several DES windows onto one virtual time axis.
@@ -86,13 +90,13 @@ type engine struct {
 	faults *faultState
 }
 
-func newEngine(p *Problem, opts *Options, subs []*Subdomain) *engine {
+func newEngine(p *Problem, cfg *Config, subs []*Subdomain) *engine {
 	e := &engine{
 		prob:       p,
-		opts:       opts,
+		cfg:        cfg,
 		subs:       subs,
 		x:          sparse.NewVec(p.System.Dim()),
-		exact:      opts.Exact,
+		exact:      cfg.Exact,
 		lastChange: make([]float64, len(subs)),
 		solvedOnce: make([]bool, len(subs)),
 	}
@@ -271,11 +275,11 @@ func (e *engine) quiesced(tol float64) bool {
 // because any of those can still change a state that currently looks
 // converged.
 func (e *engine) shouldStop(now float64) bool {
-	if e.opts.StopOnError > 0 && e.exact != nil && e.rmsError() <= e.opts.StopOnError {
+	if e.cfg.StopOnError > 0 && e.exact != nil && e.rmsError() <= e.cfg.StopOnError {
 		e.converged = true
 		return true
 	}
-	if e.quiesced(e.opts.Tol) && e.faultQuiet(now) {
+	if e.quiesced(e.cfg.Tol) && e.faultQuiet(now) {
 		e.converged = true
 		return true
 	}
@@ -283,7 +287,7 @@ func (e *engine) shouldStop(now float64) bool {
 }
 
 func (e *engine) record(now float64) {
-	if !e.opts.RecordTrace {
+	if !e.cfg.RecordTrace {
 		return
 	}
 	e.trace = append(e.trace, TracePoint{
@@ -406,8 +410,8 @@ func (n *dtmNode) OnMessages(now float64, msgs []netsim.Message[wavePacket]) []n
 	n.eng.solvedOnce[part] = true
 	n.eng.solves++
 	n.eng.applyLocal(part)
-	if n.eng.opts.Observer != nil {
-		n.eng.opts.Observer(now, part, n.sub.X())
+	if n.eng.cfg.Observer != nil {
+		n.eng.cfg.Observer(now, part, n.sub.X())
 	}
 	return n.packetsToAll(now, false)
 }
@@ -424,7 +428,7 @@ func (n *dtmNode) ComputeTime(batch int) float64 {
 // state allocates nothing. Under a fault spec every packet is sequence-
 // numbered and each send re-arms the watchdog toward its destination.
 func (n *dtmNode) packetsToAll(now float64, initial bool) []netsim.Outgoing[wavePacket] {
-	threshold := n.eng.opts.SendThreshold
+	threshold := n.eng.cfg.SendThreshold
 	part := n.sub.Part()
 	ends := n.sub.Ends()
 	n.outs = n.outs[:0]
@@ -461,14 +465,13 @@ func (n *dtmNode) packetsToAll(now float64, initial bool) []netsim.Outgoing[wave
 	return n.outs
 }
 
-// SolveDTM runs the Directed Transmission Method on the problem's machine
-// using the deterministic discrete-event engine and returns the assembled
-// solution plus the convergence trace.
-func SolveDTM(p *Problem, opts Options) (*Result, error) {
-	if err := opts.validate(p); err != nil {
-		return nil, err
-	}
-	subs, zs, err := p.buildSubdomains(opts.impedance(), opts.LocalSolver)
+// solveDES runs the fully asynchronous DTM on the deterministic
+// discrete-event engine. cfg must be normalized and validated. The ctx is
+// consulted only when it can fire (Solve wires MaxWallTime into it): a
+// Background context leaves the hot path exactly as fast — and the run
+// byte-identical — as before the context-first API existed.
+func solveDES(ctx context.Context, p *Problem, cfg *Config) (*Result, error) {
+	subs, zs, err := p.BuildSubdomains(cfg.Impedance, cfg.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
@@ -476,7 +479,7 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 	// Degenerate case: a single subdomain (no twin links) is the whole system;
 	// one local solve is the exact answer.
 	if len(p.Partition.Links) == 0 {
-		eng := newEngine(p, &opts, subs)
+		eng := newEngine(p, cfg, subs)
 		for part, s := range subs {
 			s.Solve()
 			eng.solves++
@@ -488,8 +491,8 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 		return finish(eng, zs, 0, 0, true), nil
 	}
 
-	eng := newEngine(p, &opts, subs)
-	compute := opts.computeTimeFn(p)
+	eng := newEngine(p, cfg, subs)
+	compute := cfg.computeTimeFn(p)
 	dtmNodes := make([]*dtmNode, len(subs))
 	nodes := make([]netsim.Node[wavePacket], len(subs))
 	for i, s := range subs {
@@ -497,8 +500,8 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 		nodes[i] = dtmNodes[i]
 	}
 	sim := netsim.New(nodes, func(from, to int) float64 { return p.Delay(from, to) })
-	if opts.Faults.Enabled() {
-		if err := eng.initFaults(opts.Faults); err != nil {
+	if cfg.Faults.Enabled() {
+		if err := eng.initFaults(cfg.Faults); err != nil {
 			return nil, err
 		}
 		sim.SetFaultPolicy(eng.faults.ctl.Fate)
@@ -507,10 +510,23 @@ func SolveDTM(p *Problem, opts Options) (*Result, error) {
 		n.sim = sim
 	}
 	sim.SetObserver(func(now float64, node int) { eng.record(now) })
-	sim.SetStopCondition(func(now float64) bool { return eng.shouldStop(now) })
+	if done := ctx.Done(); done != nil {
+		sim.SetStopCondition(func(now float64) bool {
+			select {
+			case <-done:
+				eng.interrupted = true
+				return true
+			default:
+			}
+			return eng.shouldStop(now)
+		})
+	} else {
+		sim.SetStopCondition(func(now float64) bool { return eng.shouldStop(now) })
+	}
 
-	stats := sim.Run(opts.MaxTime)
-	return finish(eng, zs, stats.Time, stats.Messages, eng.converged), nil
+	stats := sim.Run(cfg.MaxTime)
+	res := finish(eng, zs, stats.Time, stats.Messages, eng.converged)
+	return res, deadlineErr(ctx, cfg, eng.interrupted)
 }
 
 func finish(eng *engine, zs []float64, finalTime float64, deliveredMessages int, converged bool) *Result {
@@ -523,7 +539,7 @@ func finish(eng *engine, zs []float64, finalTime float64, deliveredMessages int,
 		TwinGap:    eng.twinGap(),
 		Solves:     eng.solves,
 		Messages:   deliveredMessages,
-		Trace:      downsample(eng.trace, eng.opts.traceMax()),
+		Trace:      downsample(eng.trace, eng.cfg.TraceMaxPoints),
 		Impedances: zs,
 	}
 	if eng.exact != nil {

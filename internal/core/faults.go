@@ -60,17 +60,8 @@ func (e *engine) initFaults(spec *chaos.Spec) error {
 			return fmt.Errorf("core: fault spec window %d>%d references a part outside the %d-part partition", w.From, w.To, n)
 		}
 	}
-	// The fault-aware stop refuses to declare convergence while any
-	// state-bearing wave is unapplied, so quiescence requires the network to
-	// drain — impossible with a zero send threshold, which re-announces
-	// sub-tolerance changes after every solve forever. Default it the way the
-	// live engine does.
-	if e.opts.SendThreshold == 0 {
-		e.opts.SendThreshold = e.opts.Tol / 100
-		if e.opts.SendThreshold <= 0 {
-			e.opts.SendThreshold = 1e-12
-		}
-	}
+	// The fault-mode SendThreshold default (Tol/100, floor 1e-12) is applied
+	// by Config.normalize — the single home of that rule for every engine.
 	e.faults = &faultState{
 		spec:       spec,
 		ctl:        chaos.NewController(spec, n),
@@ -283,8 +274,8 @@ func (n *dtmNode) crashTimer(now float64, id int) []netsim.Outgoing[wavePacket] 
 	n.eng.solvedOnce[part] = true
 	n.eng.solves++
 	n.eng.applyLocal(part)
-	if n.eng.opts.Observer != nil {
-		n.eng.opts.Observer(now, part, n.sub.X())
+	if n.eng.cfg.Observer != nil {
+		n.eng.cfg.Observer(now, part, n.sub.X())
 	}
 	return n.packetsToAll(now, false)
 }

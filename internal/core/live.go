@@ -10,56 +10,15 @@ import (
 	"time"
 
 	"repro/internal/chaos"
-	"repro/internal/dtl"
 	"repro/internal/sparse"
 )
 
-// ErrDeadlineExceeded is returned by SolveLive when the run ends — by the
-// caller's context or by MaxWallTime — before the convergence tolerance is
-// reached. The returned Result is still valid: it carries the partial
-// solution, its residual, and the trace up to the deadline.
-var ErrDeadlineExceeded = errors.New("core: live solve deadline exceeded before convergence")
-
-// LiveOptions configures the live engine: the genuinely asynchronous execution
-// of DTM on goroutines and channels, with the topology's delays mapped onto
-// real wall-clock delays. The live engine demonstrates that the algorithm
-// needs no synchronisation whatsoever — every subdomain runs in its own
-// goroutine, reacts to whatever messages have arrived, and nobody ever waits
-// for the slowest peer.
-type LiveOptions struct {
-	// Impedance selects the characteristic impedance of every DTLP.
-	// Default: dtl.DiagScaled{Alpha: 1}.
-	Impedance dtl.ImpedanceStrategy
-	// LocalSolver selects the local-factorisation backend (a backend name
-	// registered in internal/factor); empty selects the package default.
-	LocalSolver string
-	// TimeScale converts one topology time unit into wall-clock time, e.g.
-	// 100·time.Microsecond turns a 10 ms-unit mesh delay into 1 ms of real
-	// time. Default: 100 µs per unit. The fault spec's windows and schedules,
-	// expressed in topology time units, are mapped through the same scale.
-	TimeScale time.Duration
-	// MaxWallTime bounds the real run time. Required. A run that reaches it
-	// without converging returns ErrDeadlineExceeded alongside the partial
-	// result when Tol is set.
-	MaxWallTime time.Duration
-	// Tol stops the run once the largest twin disagreement falls below it
-	// (checked by the monitor at every poll). Zero disables early stopping.
-	Tol float64
-	// Exact, when non-nil, enables RMS-error traces.
-	Exact sparse.Vec
-	// PollInterval is how often the monitor samples the shared state for the
-	// trace and the stopping rule. Default: 2 ms.
-	PollInterval time.Duration
-	// RecordTrace enables the convergence history (sampled by the monitor).
-	RecordTrace bool
-	// Faults, when non-nil and enabled, injects the same deterministic-per-
-	// seed channel faults as Options.Faults into the real channels: drops,
-	// duplicates, jitter, link-down windows and crash-restart, plus the
-	// recovery machinery (sequence-numbered deduplication, per-part watchdog
-	// retransmission, periodic snapshots). The run itself stays
-	// non-deterministic — only the per-send fault fates are seeded.
-	Faults *chaos.Spec
-}
+// ErrDeadlineExceeded is returned by Solve (and the deprecated Solve*
+// wrappers) when the run ends — by the caller's context or by MaxWallTime —
+// before the convergence tolerance is reached. The returned Result is still
+// valid: it carries the partial solution, its residual, and the trace up to
+// the deadline.
+var ErrDeadlineExceeded = errors.New("core: solve deadline exceeded before convergence")
 
 // liveShared is the state the monitor reads and the subdomain goroutines
 // write; all access goes through mu.
@@ -101,38 +60,13 @@ func (lf *liveFaults) quietAt(tv float64) bool {
 	return true
 }
 
-// SolveLive runs DTM with one goroutine per subdomain and real (scaled)
+// solveLive runs DTM with one goroutine per subdomain and real (scaled)
 // communication delays, until convergence, the context's cancellation or
-// deadline, or MaxWallTime — whichever comes first. The result mirrors
-// SolveDTM's, with FinalTime in wall-clock seconds. The run is not
+// deadline, or MaxWallTime — whichever comes first. The run is not
 // deterministic — that is the point — but by Theorem 6.1 it converges to the
-// same solution for any interleaving.
-//
-// When the run ends before converging — the caller's ctx fired, or
-// MaxWallTime elapsed with a Tol set — SolveLive returns the partial result
-// together with ErrDeadlineExceeded. With Tol zero the run is time-boxed by
-// design and a full-length run is not an error.
-func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, error) {
-	if opts.MaxWallTime <= 0 {
-		return nil, fmt.Errorf("core: LiveOptions.MaxWallTime must be positive")
-	}
-	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
-		return nil, fmt.Errorf("core: LiveOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
-	}
-	if err := opts.Faults.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.TimeScale <= 0 {
-		opts.TimeScale = 100 * time.Microsecond
-	}
-	if opts.PollInterval <= 0 {
-		opts.PollInterval = 2 * time.Millisecond
-	}
-	strategy := opts.Impedance
-	if strategy == nil {
-		strategy = dtl.DiagScaled{Alpha: 1}
-	}
-	subs, zs, err := p.buildSubdomains(strategy, opts.LocalSolver)
+// same solution for any interleaving. cfg must be normalized and validated.
+func solveLive(ctx context.Context, p *Problem, cfg *Config) (*Result, error) {
+	subs, zs, err := p.BuildSubdomains(cfg.Impedance, cfg.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
@@ -144,15 +78,15 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 	links := p.Partition.Links
 
 	var lf *liveFaults
-	if opts.Faults.Enabled() {
-		for _, c := range opts.Faults.Crashes {
+	if cfg.Faults.Enabled() {
+		for _, c := range cfg.Faults.Crashes {
 			if c.Part >= nParts {
 				return nil, fmt.Errorf("core: fault spec crashes part %d but the partition has only %d parts", c.Part, nParts)
 			}
 		}
 		lf = &liveFaults{
-			spec:    opts.Faults,
-			ctl:     chaos.NewController(opts.Faults, nParts),
+			spec:    cfg.Faults,
+			ctl:     chaos.NewController(cfg.Faults, nParts),
 			needed:  make([]atomic.Uint64, nParts*nParts),
 			applied: make([]atomic.Uint64, nParts*nParts),
 		}
@@ -173,25 +107,23 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 				shared.x[pair[1]] = s.X()[pair[0]]
 			}
 		}
-		return liveResult(p, opts, shared, zs, 0, 1, 0, true, lf), nil
+		return liveResult(p, cfg, shared, zs, 0, 1, 0, true, lf), nil
 	}
 
-	runCtx, cancel := context.WithTimeout(ctx, opts.MaxWallTime)
+	runCtx, cancel := context.WithTimeout(ctx, cfg.MaxWallTime)
 	defer cancel()
 
 	start := time.Now()
 	// virtualNow maps elapsed wall time back onto the topology's time axis —
 	// the axis the fault spec's windows and schedules are expressed on.
 	virtualNow := func() float64 {
-		return time.Since(start).Seconds() / opts.TimeScale.Seconds()
+		return time.Since(start).Seconds() / cfg.TimeScale.Seconds()
 	}
 	// sendThreshold suppresses fault-mode re-announcements of waves that did
-	// not change meaningfully — two orders below the stopping tolerance, so
-	// suppression can never hold the gap above Tol.
-	sendThreshold := opts.Tol / 100
-	if sendThreshold <= 0 {
-		sendThreshold = 1e-12
-	}
+	// not change meaningfully; Config.normalize defaulted it to two orders
+	// below the stopping tolerance, so suppression can never hold the gap
+	// above Tol.
+	sendThreshold := cfg.SendThreshold
 
 	inboxes := make([]chan wavePacket, nParts)
 	for i := range inboxes {
@@ -218,14 +150,14 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 	deliver := func(from, to int, pkt wavePacket) {
 		d := p.Delay(from, to)
 		if lf == nil {
-			arrive(to, pkt, time.Duration(float64(opts.TimeScale)*d))
+			arrive(to, pkt, time.Duration(float64(cfg.TimeScale)*d))
 			return
 		}
 		// The fates buffer is reused per pair; consume it before returning.
 		// Duplicated copies alias pkt.entries, which is never written after
 		// this point.
 		for _, fd := range lf.ctl.Fate(from, to, virtualNow(), d) {
-			arrive(to, pkt, time.Duration(float64(opts.TimeScale)*fd))
+			arrive(to, pkt, time.Duration(float64(cfg.TimeScale)*fd))
 		}
 	}
 
@@ -329,22 +261,22 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 						maxDelay = d
 					}
 				}
-				wdBase = time.Duration(float64(opts.TimeScale) * lf.spec.WatchdogTimeout(maxDelay))
+				wdBase = time.Duration(float64(cfg.TimeScale) * lf.spec.WatchdogTimeout(maxDelay))
 				wdTimer = time.NewTimer(wdBase)
 				defer wdTimer.Stop()
 				wdC = wdTimer.C
 				for ci, c := range lf.spec.Crashes {
 					if c.Part == part {
 						crashIdx = ci
-						restartAfter = time.Duration(float64(opts.TimeScale) * c.RestartAfter)
-						nextCrash = time.NewTimer(time.Duration(float64(opts.TimeScale) * c.At))
+						restartAfter = time.Duration(float64(cfg.TimeScale) * c.RestartAfter)
+						nextCrash = time.NewTimer(time.Duration(float64(cfg.TimeScale) * c.At))
 						defer nextCrash.Stop()
 						crashC = nextCrash.C
 						break
 					}
 				}
 				if len(lf.spec.Crashes) > 0 {
-					snapTicker = time.NewTicker(time.Duration(float64(opts.TimeScale) * lf.spec.SnapshotInterval()))
+					snapTicker = time.NewTicker(time.Duration(float64(cfg.TimeScale) * lf.spec.SnapshotInterval()))
 					defer snapTicker.Stop()
 					snapC = snapTicker.C
 				}
@@ -449,8 +381,8 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 					for ci := crashIdx + 1; ci < len(lf.spec.Crashes); ci++ {
 						if c := lf.spec.Crashes[ci]; c.Part == part {
 							crashIdx = ci
-							restartAfter = time.Duration(float64(opts.TimeScale) * c.RestartAfter)
-							at := time.Duration(float64(opts.TimeScale)*c.At) - time.Since(start)
+							restartAfter = time.Duration(float64(cfg.TimeScale) * c.RestartAfter)
+							at := time.Duration(float64(cfg.TimeScale)*c.At) - time.Since(start)
 							if at < 0 {
 								at = 0
 							}
@@ -470,7 +402,7 @@ func SolveLive(ctx context.Context, p *Problem, opts LiveOptions) (*Result, erro
 	// still unapplied).
 	var trace []TracePoint
 	converged := false
-	ticker := time.NewTicker(opts.PollInterval)
+	ticker := time.NewTicker(cfg.PollInterval)
 monitorLoop:
 	for {
 		select {
@@ -486,11 +418,11 @@ monitorLoop:
 				}
 			}
 			rms := math.NaN()
-			if opts.Exact != nil {
-				rms = shared.x.RMSError(opts.Exact)
+			if cfg.Exact != nil {
+				rms = shared.x.RMSError(cfg.Exact)
 			}
 			shared.mu.Unlock()
-			if opts.RecordTrace {
+			if cfg.RecordTrace {
 				trace = append(trace, TracePoint{
 					Time:     time.Since(start).Seconds(),
 					RMSError: rms,
@@ -499,7 +431,7 @@ monitorLoop:
 					Messages: int(totalMessages.Load()),
 				})
 			}
-			if opts.Tol > 0 && gap <= opts.Tol && totalSolves.Load() >= int64(nParts) &&
+			if cfg.Tol > 0 && gap <= cfg.Tol && totalSolves.Load() >= int64(nParts) &&
 				(lf == nil || lf.quietAt(virtualNow())) {
 				converged = true
 				cancel()
@@ -512,20 +444,15 @@ monitorLoop:
 	wg.Wait()
 	timers.Wait()
 
-	res := liveResult(p, opts, shared, zs, time.Since(start).Seconds(), int(totalSolves.Load()), int(totalMessages.Load()), converged, lf)
-	res.Trace = downsample(trace, 2000)
-	if !converged {
-		// The caller's context fired, or MaxWallTime elapsed. With a
-		// convergence target set (or an external cancellation) that is a
-		// deadline failure; a time-boxed run without Tol is not.
-		if ctx.Err() != nil || opts.Tol > 0 {
-			return res, ErrDeadlineExceeded
-		}
-	}
-	return res, nil
+	res := liveResult(p, cfg, shared, zs, time.Since(start).Seconds(), int(totalSolves.Load()), int(totalMessages.Load()), converged, lf)
+	res.Trace = downsample(trace, cfg.TraceMaxPoints)
+	// The caller's context fired, or MaxWallTime elapsed. With a convergence
+	// target set (or an external cancellation) that is a deadline failure; a
+	// time-boxed run without Tol is not.
+	return res, deadlineErr(ctx, cfg, !converged)
 }
 
-func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, elapsed float64, solves, messages int, converged bool, lf *liveFaults) *Result {
+func liveResult(p *Problem, cfg *Config, shared *liveShared, zs []float64, elapsed float64, solves, messages int, converged bool, lf *liveFaults) *Result {
 	shared.mu.Lock()
 	x := shared.x.Clone()
 	gap := 0.0
@@ -545,8 +472,8 @@ func liveResult(p *Problem, opts LiveOptions, shared *liveShared, zs []float64, 
 		Impedances: zs,
 		RMSError:   math.NaN(),
 	}
-	if opts.Exact != nil {
-		res.RMSError = x.RMSError(opts.Exact)
+	if cfg.Exact != nil {
+		res.RMSError = x.RMSError(cfg.Exact)
 	}
 	r := p.System.A.Residual(x, p.System.B)
 	bn := p.System.B.Norm2()

@@ -1,60 +1,15 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
-	"repro/internal/chaos"
-	"repro/internal/dtl"
 	"repro/internal/netsim"
-	"repro/internal/sparse"
 )
 
-// MixedOptions configures the sync-async-mixed solver — the time-domain
-// "async-sync-async-sync" variant the paper's conclusions propose as a way to
-// narrow the speed gap between DTM and VTM: the computation runs fully
-// asynchronously for a window of virtual time, then performs a small number of
-// globally synchronous sweeps (every subdomain solves and all waves are
-// exchanged at a barrier), and repeats.
-type MixedOptions struct {
-	// Impedance selects the characteristic impedance of every DTLP.
-	// Default: dtl.DiagScaled{Alpha: 1}.
-	Impedance dtl.ImpedanceStrategy
-	// LocalSolver selects the local-factorisation backend (a backend name
-	// registered in internal/factor); empty selects the package default.
-	LocalSolver string
-	// MaxTime is the total virtual horizon. Required.
-	MaxTime float64
-	// AsyncWindow is the length of each asynchronous phase (virtual time).
-	// Required.
-	AsyncWindow float64
-	// SyncSweeps is the number of synchronous sweeps performed after each
-	// asynchronous window (default 1).
-	SyncSweeps int
-	// SyncSweepCost is the virtual cost charged per synchronous sweep. The
-	// default is the slowest round-trip delay between adjacent subdomains —
-	// what a barrier on that machine actually costs.
-	SyncSweepCost float64
-	// Tol stops the run once the largest twin disagreement and every
-	// subdomain's last boundary change are below it.
-	Tol float64
-	// Exact enables RMS-error traces and the StopOnError rule.
-	Exact sparse.Vec
-	// StopOnError stops the run once the RMS error reaches it (requires Exact).
-	StopOnError float64
-	// RecordTrace enables the convergence history.
-	RecordTrace bool
-	// TraceMaxPoints bounds the retained trace length (default 2000).
-	TraceMaxPoints int
-	// Faults, when non-nil and enabled, injects deterministic channel faults
-	// into the asynchronous windows (see Options.Faults). The synchronous
-	// sweeps are reliable barriers — they exchange every wave and settle all
-	// outstanding sequence numbers — but a part inside a crash window sits a
-	// sweep out: it neither solves nor exchanges waves.
-	Faults *chaos.Spec
-}
-
-// MixedResult is the outcome of a mixed sync/async run.
+// MixedResult is the outcome of a mixed sync/async run through the deprecated
+// SolveMixed wrapper. New code reads the phase counters directly off the
+// unified Result.
 type MixedResult struct {
 	// Result carries the same fields as a pure DTM run.
 	Result
@@ -62,56 +17,20 @@ type MixedResult struct {
 	AsyncPhases, SyncSweepsDone int
 }
 
-// SolveMixed runs the sync-async-mixed variant: asynchronous DES windows
-// separated by globally synchronous sweeps, all on the problem's machine and
-// all sharing one virtual time axis. With AsyncWindow → ∞ it degenerates into
-// SolveDTM; with AsyncWindow → 0 it degenerates into VTM paying the slowest
-// round trip per sweep.
-func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
-	if opts.MaxTime <= 0 || math.IsNaN(opts.MaxTime) {
-		return nil, fmt.Errorf("core: MixedOptions.MaxTime must be positive, got %g", opts.MaxTime)
-	}
-	if opts.AsyncWindow <= 0 || math.IsNaN(opts.AsyncWindow) {
-		return nil, fmt.Errorf("core: MixedOptions.AsyncWindow must be positive, got %g", opts.AsyncWindow)
-	}
-	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
-		return nil, fmt.Errorf("core: MixedOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
-	}
-	if opts.Tol < 0 || opts.StopOnError < 0 {
-		return nil, fmt.Errorf("core: tolerances must be non-negative")
-	}
-	sweeps := opts.SyncSweeps
-	if sweeps <= 0 {
-		sweeps = 1
-	}
-
-	// Translate into the engine's option set once; the per-window DES runs and
-	// the synchronous sweeps share the subdomains and the bookkeeping engine.
-	engineOpts := Options{
-		Impedance:      opts.Impedance,
-		LocalSolver:    opts.LocalSolver,
-		MaxTime:        opts.MaxTime,
-		Tol:            opts.Tol,
-		Exact:          opts.Exact,
-		StopOnError:    opts.StopOnError,
-		RecordTrace:    opts.RecordTrace,
-		TraceMaxPoints: opts.TraceMaxPoints,
-		Faults:         opts.Faults,
-	}
-	if err := opts.Faults.Validate(); err != nil {
-		return nil, err
-	}
-	subs, zs, err := p.buildSubdomains(engineOpts.impedance(), engineOpts.LocalSolver)
+// solveMixed runs the sync-async-mixed variant: asynchronous DES windows
+// separated by globally synchronous sweeps, all sharing one virtual time
+// axis. cfg must be normalized and validated.
+func solveMixed(ctx context.Context, p *Problem, cfg *Config) (*Result, error) {
+	subs, zs, err := p.BuildSubdomains(cfg.Impedance, cfg.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
-	eng := newEngine(p, &engineOpts, subs)
-	if opts.Faults.Enabled() {
-		if err := eng.initFaults(opts.Faults); err != nil {
+	eng := newEngine(p, cfg, subs)
+	if cfg.Faults.Enabled() {
+		if err := eng.initFaults(cfg.Faults); err != nil {
 			return nil, err
 		}
 	}
-	out := &MixedResult{}
 
 	// Degenerate single-subdomain case: one solve is the answer.
 	if len(p.Partition.Links) == 0 {
@@ -123,26 +42,27 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 			eng.lastChange[part] = 0
 		}
 		eng.record(0)
-		out.Result = *finish(eng, zs, 0, 0, true)
-		return out, nil
+		return finish(eng, zs, 0, 0, true), nil
 	}
 
-	syncCost := opts.SyncSweepCost
+	syncCost := cfg.SyncSweepCost
 	if syncCost <= 0 {
 		syncCost = slowestAdjacentRoundTrip(p)
 	}
-	compute := engineOpts.computeTimeFn(p)
+	compute := cfg.computeTimeFn(p)
+	done := ctx.Done()
 
 	now := 0.0
 	delivered := 0
-	for now < opts.MaxTime && !eng.converged {
+	asyncPhases, syncSweepsDone := 0, 0
+	for now < cfg.MaxTime && !eng.converged && !eng.interrupted {
 		// Asynchronous phase: a DES window over the remaining budget.
-		window := math.Min(opts.AsyncWindow, opts.MaxTime-now)
+		window := math.Min(cfg.AsyncWindow, cfg.MaxTime-now)
 		dtmNodes := make([]*dtmNode, len(subs))
 		nodes := make([]netsim.Node[wavePacket], len(subs))
 		for i, s := range subs {
 			node := newDTMNode(eng, s, compute)
-			node.warmStart = out.AsyncPhases > 0 || out.SyncSweepsDone > 0
+			node.warmStart = asyncPhases > 0 || syncSweepsDone > 0
 			dtmNodes[i] = node
 			nodes[i] = node
 		}
@@ -160,18 +80,30 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 			n.sim = sim
 		}
 		sim.SetObserver(func(t float64, node int) { eng.record(t) })
-		sim.SetStopCondition(func(t float64) bool { return eng.shouldStop(off + t) })
+		if done != nil {
+			sim.SetStopCondition(func(t float64) bool {
+				select {
+				case <-done:
+					eng.interrupted = true
+					return true
+				default:
+				}
+				return eng.shouldStop(off + t)
+			})
+		} else {
+			sim.SetStopCondition(func(t float64) bool { return eng.shouldStop(off + t) })
+		}
 		stats := sim.Run(window)
 		delivered += stats.Messages
 		now += math.Min(window, stats.Time)
-		out.AsyncPhases++
-		if eng.converged || now >= opts.MaxTime {
+		asyncPhases++
+		if eng.converged || eng.interrupted || now >= cfg.MaxTime {
 			break
 		}
 
 		// Synchronous phase: VTM-style sweeps at a barrier, each one charged the
 		// slowest round trip of the machine.
-		for s := 0; s < sweeps && now < opts.MaxTime && !eng.converged; s++ {
+		for s := 0; s < cfg.SyncSweeps && now < cfg.MaxTime && !eng.converged; s++ {
 			// A part inside a crash window at the barrier instant is down: it
 			// neither solves nor exchanges waves this sweep.
 			crashed := func(part int) bool {
@@ -222,7 +154,7 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 				eng.faults.settle()
 			}
 			now += syncCost
-			out.SyncSweepsDone++
+			syncSweepsDone++
 			eng.timeOffset = 0
 			eng.record(now)
 			if eng.shouldStop(now) {
@@ -231,8 +163,9 @@ func SolveMixed(p *Problem, opts MixedOptions) (*MixedResult, error) {
 		}
 	}
 
-	out.Result = *finish(eng, zs, math.Min(now, opts.MaxTime), delivered, eng.converged)
-	return out, nil
+	res := finish(eng, zs, math.Min(now, cfg.MaxTime), delivered, eng.converged)
+	res.AsyncPhases, res.SyncSweepsDone = asyncPhases, syncSweepsDone
+	return res, deadlineErr(ctx, cfg, eng.interrupted)
 }
 
 // slowestAdjacentRoundTrip returns the largest delay(a→b)+delay(b→a) over

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/dtl"
@@ -10,9 +11,49 @@ import (
 	"repro/internal/sparse"
 )
 
-// Options configures a DTM run on the discrete-event simulator (and, with the
-// fields that apply, the live goroutine engine).
-type Options struct {
+// Engine selects which execution engine Solve drives. All engines share the
+// same numerics — the factorised subdomains of eq. (5.9) exchanging waves —
+// and differ only in how the exchanges are scheduled.
+type Engine int
+
+const (
+	// EngineDES runs the fully asynchronous DTM on the deterministic
+	// discrete-event simulator — byte-identical run over run, the engine the
+	// paper's figures and every oracle comparison use. The default.
+	EngineDES Engine = iota
+	// EngineVTM runs the synchronous Virtual Transmission Method: lock-step
+	// sweeps with a simultaneous wave exchange after each (eq. (5.10)).
+	EngineVTM
+	// EngineMixed alternates asynchronous DES windows with globally
+	// synchronous sweeps (the "async-sync-async-sync" variant of the paper's
+	// conclusions).
+	EngineMixed
+	// EngineLive runs one goroutine per subdomain with real (scaled)
+	// communication delays — genuinely asynchronous, not deterministic.
+	EngineLive
+)
+
+// String returns the engine's short name as used by CLIs and reports.
+func (e Engine) String() string {
+	switch e {
+	case EngineDES:
+		return "des"
+	case EngineVTM:
+		return "vtm"
+	case EngineMixed:
+		return "mixed"
+	case EngineLive:
+		return "live"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// CommonOptions is the engine-independent half of a solve Config: the knobs
+// every engine interprets the same way. It exists so the four engines share
+// one set of fields (and one normalize) instead of the four near-duplicate
+// Options structs of earlier releases.
+type CommonOptions struct {
 	// Impedance selects the characteristic impedance of every DTLP.
 	// Default: dtl.DiagScaled{Alpha: 1}.
 	Impedance dtl.ImpedanceStrategy
@@ -26,29 +67,19 @@ type Options struct {
 	// factorisation is deterministic at every GOMAXPROCS.
 	LocalSolver string
 
-	// MaxTime is the virtual time horizon of the run (same unit as the
-	// topology's delays). Required.
-	MaxTime float64
+	// Ordering, when non-empty, steers the fill-reducing ordering the sparse
+	// backends use ("natural", "rcm", "amd", "nd" or "auto"). Like the CLIs'
+	// -ordering flag it sets the factor package's process-wide default — the
+	// registered backends consult it — so concurrent Solves with different
+	// Orderings race on the default; leave it empty for all but one of them.
+	Ordering string
 
 	// Tol, when positive, stops the run early once the computation has
 	// quiesced in the distributed sense: every subdomain has solved at least
 	// once, the last local solve of every subdomain moved its boundary
 	// potentials by less than Tol, and the largest twin disagreement is below
-	// Tol.
+	// Tol. (The live engine checks the twin-gap half at every monitor poll.)
 	Tol float64
-
-	// Exact, when non-nil, is the exact solution used for RMS-error traces.
-	Exact sparse.Vec
-
-	// StopOnError, when positive and Exact is supplied, stops the run as soon
-	// as the RMS error drops to or below this value.
-	StopOnError float64
-
-	// ComputeTime models the local solve time of a subdomain (virtual time).
-	// When nil, each solve takes 5% of the smallest communication delay, which
-	// keeps the processors busy a realistic fraction of the time and bounds
-	// the message rate.
-	ComputeTime func(part, dim int) float64
 
 	// SendThreshold suppresses messages to a neighbour when none of the waves
 	// toward it changed by more than this amount since the last send. Zero
@@ -60,11 +91,13 @@ type Options struct {
 	// sub-tolerance changes forever never drains.
 	SendThreshold float64
 
-	// Observer, when non-nil, is invoked after every local solve with the
-	// virtual completion time, the part that solved, and its local solution
-	// vector [u_ports; y_inner] (a live buffer — copy it if it must be kept).
-	// Experiments use it to record individual port potentials (Fig. 8).
-	Observer func(now float64, part int, local sparse.Vec)
+	// Exact, when non-nil, is the exact solution used for RMS-error traces.
+	Exact sparse.Vec
+
+	// StopOnError, when positive and Exact is supplied, stops the run as soon
+	// as the RMS error drops to or below this value (DES, VTM and mixed
+	// engines — the live engine has no deterministic instant to test it at).
+	StopOnError float64
 
 	// RecordTrace enables the convergence-history trace.
 	RecordTrace bool
@@ -76,49 +109,166 @@ type Options struct {
 	// (drops, duplicates, jitter, link-down windows, crash-restart) into the
 	// run and activates the recovery machinery: sequence-numbered waves with
 	// last-writer-wins deduplication, watchdog retransmission, and periodic
-	// snapshots. Runs stay byte-identical per Faults.Seed. A nil or disabled
-	// spec leaves every fault-path branch off.
+	// snapshots. DES runs stay byte-identical per Faults.Seed. A nil or
+	// disabled spec leaves every fault-path branch off.
 	Faults *chaos.Spec
+
+	// MaxWallTime is the wall-clock deadline of the run. Required for the
+	// live engine (it bounds real execution); optional elsewhere, where it
+	// caps the virtual-time engines the way a ctx deadline does. A run that
+	// the deadline (or the caller's ctx) ends before convergence returns its
+	// partial result alongside ErrDeadlineExceeded when a convergence target
+	// was set.
+	MaxWallTime time.Duration
 }
 
-func (o *Options) validate(p *Problem) error {
-	if o.MaxTime <= 0 || math.IsNaN(o.MaxTime) {
-		return fmt.Errorf("core: Options.MaxTime must be positive, got %g", o.MaxTime)
+// Config is the complete configuration of a Solve call: the shared
+// CommonOptions, the engine selector, and the engine-specific scheduling
+// fields (each documented with the engines that read it).
+type Config struct {
+	CommonOptions
+
+	// Engine selects the execution engine. Default: EngineDES.
+	Engine Engine
+
+	// MaxTime is the virtual time horizon (same unit as the topology's
+	// delays). Required by the DES and mixed engines.
+	MaxTime float64
+
+	// ComputeTime models the local solve time of a subdomain (virtual time)
+	// for the DES and mixed engines. When nil, each solve takes 5% of the
+	// smallest communication delay, which keeps the processors busy a
+	// realistic fraction of the time and bounds the message rate.
+	ComputeTime func(part, dim int) float64
+
+	// Observer, when non-nil, is invoked by the DES and mixed engines after
+	// every local solve with the virtual completion time, the part that
+	// solved, and its local solution vector [u_ports; y_inner] (a live buffer
+	// — copy it if it must be kept). Experiments use it to record individual
+	// port potentials (Fig. 8).
+	Observer func(now float64, part int, local sparse.Vec)
+
+	// MaxIterations bounds the number of synchronous sweeps. Required by the
+	// VTM engine.
+	MaxIterations int
+
+	// AsyncWindow is the length of each asynchronous phase (virtual time).
+	// Required by the mixed engine.
+	AsyncWindow float64
+
+	// SyncSweeps is the number of synchronous sweeps performed after each
+	// asynchronous window of the mixed engine (default 1).
+	SyncSweeps int
+
+	// SyncSweepCost is the virtual cost the mixed engine charges per
+	// synchronous sweep. The default is the slowest round-trip delay between
+	// adjacent subdomains — what a barrier on that machine actually costs.
+	SyncSweepCost float64
+
+	// TimeScale converts one topology time unit into wall-clock time for the
+	// live engine, e.g. 100·time.Microsecond turns a 10 ms-unit mesh delay
+	// into 1 ms of real time. Default: 100 µs per unit. The fault spec's
+	// windows and schedules, expressed in topology time units, are mapped
+	// through the same scale.
+	TimeScale time.Duration
+
+	// PollInterval is how often the live engine's monitor samples the shared
+	// state for the trace and the stopping rule. Default: 2 ms.
+	PollInterval time.Duration
+}
+
+// normalize fills the defaults every engine shares — the single home of the
+// defaulting rules that used to be copy-pasted per engine (notably the
+// fault-mode SendThreshold = Tol/100 rule, which lived in both the DES fault
+// layer and the live engine).
+func (c *Config) normalize() {
+	if c.Impedance == nil {
+		c.Impedance = dtl.DiagScaled{Alpha: 1}
 	}
-	if o.Exact != nil && len(o.Exact) != p.System.Dim() {
-		return fmt.Errorf("core: Options.Exact has length %d, want %d", len(o.Exact), p.System.Dim())
+	if c.TraceMaxPoints <= 0 {
+		c.TraceMaxPoints = 2000
 	}
-	if o.Tol < 0 || o.StopOnError < 0 || o.SendThreshold < 0 {
+	if c.Faults.Enabled() && c.SendThreshold == 0 {
+		// The fault-aware stop refuses to declare convergence while any
+		// state-bearing wave is unapplied, so quiescence requires the network
+		// to drain — impossible with a zero send threshold, which re-announces
+		// sub-tolerance changes after every solve forever. Two orders below
+		// the stopping tolerance, so suppression can never hold the twin gap
+		// above Tol.
+		c.SendThreshold = c.Tol / 100
+		if c.SendThreshold <= 0 {
+			c.SendThreshold = 1e-12
+		}
+	}
+	switch c.Engine {
+	case EngineMixed:
+		if c.SyncSweeps <= 0 {
+			c.SyncSweeps = 1
+		}
+	case EngineLive:
+		if c.TimeScale <= 0 {
+			c.TimeScale = 100 * time.Microsecond
+		}
+		if c.PollInterval <= 0 {
+			c.PollInterval = 2 * time.Millisecond
+		}
+	}
+}
+
+// validate checks the configuration against the problem: the shared fields
+// once, then the fields the selected engine requires.
+func (c *Config) validate(p *Problem) error {
+	if c.Exact != nil && len(c.Exact) != p.System.Dim() {
+		return fmt.Errorf("core: Exact has length %d, want %d", len(c.Exact), p.System.Dim())
+	}
+	if c.Tol < 0 || c.StopOnError < 0 || c.SendThreshold < 0 {
 		return fmt.Errorf("core: tolerances must be non-negative")
 	}
-	if o.LocalSolver != "" && !factor.Known(o.LocalSolver) {
-		return fmt.Errorf("core: unknown local solver backend %q (have %v)", o.LocalSolver, factor.Backends())
+	if c.LocalSolver != "" && !factor.Known(c.LocalSolver) {
+		return fmt.Errorf("core: unknown local solver backend %q (have %v)", c.LocalSolver, factor.Backends())
 	}
-	if err := o.Faults.Validate(); err != nil {
+	if c.Ordering != "" {
+		if _, err := factor.ParseOrdering(c.Ordering); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if c.Faults.Enabled() && c.Engine == EngineVTM {
+		return fmt.Errorf("core: the VTM engine is a reliable synchronous baseline and does not take a fault spec")
+	}
+	switch c.Engine {
+	case EngineDES:
+		if c.MaxTime <= 0 || math.IsNaN(c.MaxTime) {
+			return fmt.Errorf("core: MaxTime must be positive for the des engine, got %g", c.MaxTime)
+		}
+	case EngineVTM:
+		if c.MaxIterations <= 0 {
+			return fmt.Errorf("core: MaxIterations must be positive for the vtm engine, got %d", c.MaxIterations)
+		}
+	case EngineMixed:
+		if c.MaxTime <= 0 || math.IsNaN(c.MaxTime) {
+			return fmt.Errorf("core: MaxTime must be positive for the mixed engine, got %g", c.MaxTime)
+		}
+		if c.AsyncWindow <= 0 || math.IsNaN(c.AsyncWindow) {
+			return fmt.Errorf("core: AsyncWindow must be positive for the mixed engine, got %g", c.AsyncWindow)
+		}
+	case EngineLive:
+		if c.MaxWallTime <= 0 {
+			return fmt.Errorf("core: MaxWallTime must be positive for the live engine")
+		}
+	default:
+		return fmt.Errorf("core: unknown engine %v", c.Engine)
 	}
 	return nil
 }
 
-func (o *Options) impedance() dtl.ImpedanceStrategy {
-	if o.Impedance == nil {
-		return dtl.DiagScaled{Alpha: 1}
-	}
-	return o.Impedance
-}
-
-func (o *Options) traceMax() int {
-	if o.TraceMaxPoints <= 0 {
-		return 2000
-	}
-	return o.TraceMaxPoints
-}
-
 // computeTimeFn resolves the compute-time model, defaulting to 5% of the
 // smallest inter-subdomain delay of the problem.
-func (o *Options) computeTimeFn(p *Problem) func(part, dim int) float64 {
-	if o.ComputeTime != nil {
-		return o.ComputeTime
+func (c *Config) computeTimeFn(p *Problem) func(part, dim int) float64 {
+	if c.ComputeTime != nil {
+		return c.ComputeTime
 	}
 	minDelay := math.Inf(1)
 	adj := p.Partition.AdjacentParts()
@@ -134,4 +284,203 @@ func (o *Options) computeTimeFn(p *Problem) func(part, dim int) float64 {
 	}
 	ct := 0.05 * minDelay
 	return func(part, dim int) float64 { return ct }
+}
+
+// Options configures a DTM run on the discrete-event simulator.
+//
+// Deprecated: Options is the legacy per-engine struct; new code should build
+// a Config (Engine: EngineDES) and call Solve. SolveDTM remains as a thin
+// wrapper and produces byte-identical results.
+type Options struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	// Default: dtl.DiagScaled{Alpha: 1}.
+	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend (see
+	// CommonOptions.LocalSolver).
+	LocalSolver string
+	// MaxTime is the virtual time horizon of the run. Required.
+	MaxTime float64
+	// Tol is the distributed quiescence tolerance (see CommonOptions.Tol).
+	Tol float64
+	// Exact, when non-nil, is the exact solution used for RMS-error traces.
+	Exact sparse.Vec
+	// StopOnError stops the run once the RMS error reaches it (requires Exact).
+	StopOnError float64
+	// ComputeTime models the local solve time of a subdomain (virtual time).
+	ComputeTime func(part, dim int) float64
+	// SendThreshold suppresses unchanged re-announcements (see
+	// CommonOptions.SendThreshold).
+	SendThreshold float64
+	// Observer is invoked after every local solve (see Config.Observer).
+	Observer func(now float64, part int, local sparse.Vec)
+	// RecordTrace enables the convergence-history trace.
+	RecordTrace bool
+	// TraceMaxPoints bounds the number of retained trace points (default 2000).
+	TraceMaxPoints int
+	// Faults injects deterministic channel faults (see CommonOptions.Faults).
+	Faults *chaos.Spec
+}
+
+// Config lifts the legacy DES options into the unified Config.
+func (o Options) Config() Config {
+	return Config{
+		CommonOptions: CommonOptions{
+			Impedance:      o.Impedance,
+			LocalSolver:    o.LocalSolver,
+			Tol:            o.Tol,
+			SendThreshold:  o.SendThreshold,
+			Exact:          o.Exact,
+			StopOnError:    o.StopOnError,
+			RecordTrace:    o.RecordTrace,
+			TraceMaxPoints: o.TraceMaxPoints,
+			Faults:         o.Faults,
+		},
+		Engine:      EngineDES,
+		MaxTime:     o.MaxTime,
+		ComputeTime: o.ComputeTime,
+		Observer:    o.Observer,
+	}
+}
+
+// VTMOptions configures a run of the Virtual Transmission Method — the
+// synchronous, discrete-time special case of DTM obtained by giving every DTL
+// a propagation delay of exactly one time unit and running the subdomains in
+// lock-step (equation (5.10) in the paper).
+//
+// Deprecated: build a Config (Engine: EngineVTM) and call Solve.
+type VTMOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend.
+	LocalSolver string
+	// MaxIterations bounds the number of synchronous sweeps. Required.
+	MaxIterations int
+	// Tol stops the iteration once the largest twin disagreement and the
+	// largest boundary-potential change both fall below it.
+	Tol float64
+	// Exact, when non-nil, enables RMS-error traces and the StopOnError rule.
+	Exact sparse.Vec
+	// StopOnError stops as soon as the RMS error reaches this value (requires
+	// Exact).
+	StopOnError float64
+	// RecordTrace enables the per-iteration convergence history.
+	RecordTrace bool
+}
+
+// Config lifts the legacy VTM options into the unified Config.
+func (o VTMOptions) Config() Config {
+	return Config{
+		CommonOptions: CommonOptions{
+			Impedance:   o.Impedance,
+			LocalSolver: o.LocalSolver,
+			Tol:         o.Tol,
+			Exact:       o.Exact,
+			StopOnError: o.StopOnError,
+			RecordTrace: o.RecordTrace,
+		},
+		Engine:        EngineVTM,
+		MaxIterations: o.MaxIterations,
+	}
+}
+
+// MixedOptions configures the sync-async-mixed solver — the time-domain
+// "async-sync-async-sync" variant the paper's conclusions propose as a way to
+// narrow the speed gap between DTM and VTM.
+//
+// Deprecated: build a Config (Engine: EngineMixed) and call Solve.
+type MixedOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend.
+	LocalSolver string
+	// MaxTime is the total virtual horizon. Required.
+	MaxTime float64
+	// AsyncWindow is the length of each asynchronous phase. Required.
+	AsyncWindow float64
+	// SyncSweeps is the number of synchronous sweeps per window (default 1).
+	SyncSweeps int
+	// SyncSweepCost is the virtual cost charged per synchronous sweep.
+	SyncSweepCost float64
+	// Tol is the distributed quiescence tolerance.
+	Tol float64
+	// Exact enables RMS-error traces and the StopOnError rule.
+	Exact sparse.Vec
+	// StopOnError stops the run once the RMS error reaches it (requires Exact).
+	StopOnError float64
+	// RecordTrace enables the convergence history.
+	RecordTrace bool
+	// TraceMaxPoints bounds the retained trace length (default 2000).
+	TraceMaxPoints int
+	// Faults injects deterministic channel faults into the asynchronous
+	// windows (see CommonOptions.Faults). The synchronous sweeps are reliable
+	// barriers — they exchange every wave and settle all outstanding sequence
+	// numbers — but a part inside a crash window sits a sweep out.
+	Faults *chaos.Spec
+}
+
+// Config lifts the legacy mixed options into the unified Config.
+func (o MixedOptions) Config() Config {
+	return Config{
+		CommonOptions: CommonOptions{
+			Impedance:      o.Impedance,
+			LocalSolver:    o.LocalSolver,
+			Tol:            o.Tol,
+			Exact:          o.Exact,
+			StopOnError:    o.StopOnError,
+			RecordTrace:    o.RecordTrace,
+			TraceMaxPoints: o.TraceMaxPoints,
+			Faults:         o.Faults,
+		},
+		Engine:        EngineMixed,
+		MaxTime:       o.MaxTime,
+		AsyncWindow:   o.AsyncWindow,
+		SyncSweeps:    o.SyncSweeps,
+		SyncSweepCost: o.SyncSweepCost,
+	}
+}
+
+// LiveOptions configures the live engine: the genuinely asynchronous
+// execution of DTM on goroutines and channels, with the topology's delays
+// mapped onto real wall-clock delays.
+//
+// Deprecated: build a Config (Engine: EngineLive) and call Solve.
+type LiveOptions struct {
+	// Impedance selects the characteristic impedance of every DTLP.
+	Impedance dtl.ImpedanceStrategy
+	// LocalSolver selects the local-factorisation backend.
+	LocalSolver string
+	// TimeScale converts one topology time unit into wall-clock time.
+	TimeScale time.Duration
+	// MaxWallTime bounds the real run time. Required.
+	MaxWallTime time.Duration
+	// Tol stops the run once the largest twin disagreement falls below it.
+	Tol float64
+	// Exact, when non-nil, enables RMS-error traces.
+	Exact sparse.Vec
+	// PollInterval is how often the monitor samples the shared state.
+	PollInterval time.Duration
+	// RecordTrace enables the convergence history (sampled by the monitor).
+	RecordTrace bool
+	// Faults injects seeded channel faults into the real channels (see
+	// CommonOptions.Faults). The run itself stays non-deterministic — only
+	// the per-send fault fates are seeded.
+	Faults *chaos.Spec
+}
+
+// Config lifts the legacy live options into the unified Config.
+func (o LiveOptions) Config() Config {
+	return Config{
+		CommonOptions: CommonOptions{
+			Impedance:   o.Impedance,
+			LocalSolver: o.LocalSolver,
+			Tol:         o.Tol,
+			Exact:       o.Exact,
+			RecordTrace: o.RecordTrace,
+			Faults:      o.Faults,
+			MaxWallTime: o.MaxWallTime,
+		},
+		Engine:       EngineLive,
+		TimeScale:    o.TimeScale,
+		PollInterval: o.PollInterval,
+	}
 }

@@ -116,9 +116,9 @@ func TestPaperLocalSystemMatchesEquation54(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewProblem: %v", err)
 	}
-	subs, _, err := prob.buildSubdomains(paperImpedances(), "")
+	subs, _, err := prob.BuildSubdomains(paperImpedances(), "")
 	if err != nil {
-		t.Fatalf("buildSubdomains: %v", err)
+		t.Fatalf("BuildSubdomains: %v", err)
 	}
 
 	// With Z2 = 0.2 and Z3 = 0.1 the local matrix of subgraph 1 (equation 5.4)

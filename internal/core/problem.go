@@ -120,10 +120,16 @@ func (p *Problem) OwnerPairs() [][][2]int {
 	return owner
 }
 
-// buildSubdomains instantiates the per-part DTM solvers with the impedances
-// chosen by the strategy and the given local-factorisation backend (empty for
-// the factor package default). It is shared by the DES, VTM and live engines.
-func (p *Problem) buildSubdomains(strategy dtl.ImpedanceStrategy, backend string) ([]*Subdomain, []float64, error) {
+// BuildSubdomains instantiates the per-part DTM solvers with the impedances
+// chosen by the strategy (nil for the default, dtl.DiagScaled{Alpha: 1}) and
+// the given local-factorisation backend (empty for the factor package
+// default). It is shared by the DES, VTM and live engines, and exported so
+// out-of-process workers (internal/dist) can build exactly the subdomains the
+// in-process engines would for the same problem.
+func (p *Problem) BuildSubdomains(strategy dtl.ImpedanceStrategy, backend string) ([]*Subdomain, []float64, error) {
+	if strategy == nil {
+		strategy = dtl.DiagScaled{Alpha: 1}
+	}
 	zs, err := dtl.Assign(p.Partition, strategy)
 	if err != nil {
 		return nil, nil, err

@@ -49,6 +49,12 @@ type Result struct {
 	Trace []TracePoint
 	// Impedances holds the characteristic impedance chosen for each twin link.
 	Impedances []float64
+	// Iterations is the number of synchronous sweeps performed; set only by
+	// the VTM engine (zero elsewhere).
+	Iterations int
+	// AsyncPhases and SyncSweepsDone count the mixed engine's asynchronous
+	// windows and barrier sweeps; set only by the mixed engine.
+	AsyncPhases, SyncSweepsDone int
 	// Faults summarises the injected faults and the recovery work of the run;
 	// nil unless the run had an enabled fault spec.
 	Faults *FaultStats

@@ -18,9 +18,9 @@ func TestSubdomainSolveBatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewProblem: %v", err)
 	}
-	subs, _, err := prob.buildSubdomains(paperImpedances(), "")
+	subs, _, err := prob.BuildSubdomains(paperImpedances(), "")
 	if err != nil {
-		t.Fatalf("buildSubdomains: %v", err)
+		t.Fatalf("BuildSubdomains: %v", err)
 	}
 	s0 := subs[0]
 	ne := len(s0.Ends())

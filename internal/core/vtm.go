@@ -1,39 +1,15 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
-	"repro/internal/dtl"
 	"repro/internal/sparse"
 )
 
-// VTMOptions configures a run of the Virtual Transmission Method — the
-// synchronous, discrete-time special case of DTM obtained by giving every DTL
-// a propagation delay of exactly one time unit and running the subdomains in
-// lock-step (equation (5.10) in the paper).
-type VTMOptions struct {
-	// Impedance selects the characteristic impedance of every DTLP.
-	// Default: dtl.DiagScaled{Alpha: 1}.
-	Impedance dtl.ImpedanceStrategy
-	// LocalSolver selects the local-factorisation backend (a backend name
-	// registered in internal/factor); empty selects the package default.
-	LocalSolver string
-	// MaxIterations bounds the number of synchronous sweeps. Required.
-	MaxIterations int
-	// Tol stops the iteration once the largest twin disagreement and the
-	// largest boundary-potential change both fall below it.
-	Tol float64
-	// Exact, when non-nil, enables RMS-error traces and the StopOnError rule.
-	Exact sparse.Vec
-	// StopOnError stops as soon as the RMS error reaches this value (requires
-	// Exact).
-	StopOnError float64
-	// RecordTrace enables the per-iteration convergence history.
-	RecordTrace bool
-}
-
-// VTMResult is the outcome of a VTM run.
+// VTMResult is the outcome of a VTM run through the deprecated SolveVTM
+// wrapper. New code reads the same fields off the unified Result (which
+// carries the sweep count in Result.Iterations).
 type VTMResult struct {
 	// X is the assembled global solution.
 	X sparse.Vec
@@ -53,29 +29,17 @@ type VTMResult struct {
 	Impedances []float64
 }
 
-// SolveVTM runs the Virtual Transmission Method: in every iteration all
-// subdomains solve their local systems with the waves received at the end of
-// the previous iteration and then exchange waves simultaneously. It is the
-// globally synchronous reference point that the paper's conclusions compare
-// DTM against.
-func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
-	if opts.MaxIterations <= 0 {
-		return nil, fmt.Errorf("core: VTMOptions.MaxIterations must be positive, got %d", opts.MaxIterations)
-	}
-	if opts.Exact != nil && len(opts.Exact) != p.System.Dim() {
-		return nil, fmt.Errorf("core: VTMOptions.Exact has length %d, want %d", len(opts.Exact), p.System.Dim())
-	}
-	strategy := opts.Impedance
-	if strategy == nil {
-		strategy = dtl.DiagScaled{Alpha: 1}
-	}
-	subs, zs, err := p.buildSubdomains(strategy, opts.LocalSolver)
+// solveVTM runs the Virtual Transmission Method: lock-step sweeps with a
+// simultaneous wave exchange after each. cfg must be normalized and
+// validated.
+func solveVTM(ctx context.Context, p *Problem, cfg *Config) (*Result, error) {
+	subs, zs, err := p.BuildSubdomains(cfg.Impedance, cfg.LocalSolver)
 	if err != nil {
 		return nil, err
 	}
 
 	links := p.Partition.Links
-	res := &VTMResult{Impedances: zs, RMSError: math.NaN()}
+	res := &Result{Impedances: zs, RMSError: math.NaN()}
 
 	assemble := func() sparse.Vec {
 		locals := make([]sparse.Vec, len(subs))
@@ -95,7 +59,19 @@ func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
 		return m
 	}
 
-	for it := 1; it <= opts.MaxIterations; it++ {
+	done := ctx.Done()
+	interrupted := false
+	for it := 1; it <= cfg.MaxIterations; it++ {
+		if done != nil {
+			select {
+			case <-done:
+				interrupted = true
+			default:
+			}
+			if interrupted {
+				break
+			}
+		}
 		// Synchronous sweep: every subdomain solves with last iteration's waves.
 		maxChange := 0.0
 		for _, s := range subs {
@@ -124,12 +100,14 @@ func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
 		}
 
 		res.Iterations = it
+		res.Solves = it * len(subs)
+		res.Messages = it * len(links) * 2
 		gap := twinGap()
 		var rms float64 = math.NaN()
-		if opts.Exact != nil {
-			rms = assemble().RMSError(opts.Exact)
+		if cfg.Exact != nil {
+			rms = assemble().RMSError(cfg.Exact)
 		}
-		if opts.RecordTrace {
+		if cfg.RecordTrace {
 			res.Trace = append(res.Trace, TracePoint{
 				Time:     float64(it),
 				RMSError: rms,
@@ -138,20 +116,21 @@ func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
 				Messages: it * len(links) * 2,
 			})
 		}
-		if opts.StopOnError > 0 && !math.IsNaN(rms) && rms <= opts.StopOnError {
+		if cfg.StopOnError > 0 && !math.IsNaN(rms) && rms <= cfg.StopOnError {
 			res.Converged = true
 			break
 		}
-		if opts.Tol > 0 && gap <= opts.Tol && maxChange <= opts.Tol {
+		if cfg.Tol > 0 && gap <= cfg.Tol && maxChange <= cfg.Tol {
 			res.Converged = true
 			break
 		}
 	}
 
 	res.X = assemble()
+	res.FinalTime = float64(res.Iterations)
 	res.TwinGap = twinGap()
-	if opts.Exact != nil {
-		res.RMSError = res.X.RMSError(opts.Exact)
+	if cfg.Exact != nil {
+		res.RMSError = res.X.RMSError(cfg.Exact)
 	}
 	r := p.System.A.Residual(res.X, p.System.B)
 	bn := p.System.B.Norm2()
@@ -159,5 +138,5 @@ func SolveVTM(p *Problem, opts VTMOptions) (*VTMResult, error) {
 		bn = 1
 	}
 	res.Residual = r.Norm2() / bn
-	return res, nil
+	return res, deadlineErr(ctx, cfg, interrupted)
 }

@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/transport"
+)
+
+// CoordConfig drives one distributed solve.
+type CoordConfig struct {
+	// Spec is the problem every member re-tears locally.
+	Spec ProblemSpec
+	// Workers lists the transport member ids that own shards. Parts are
+	// assigned in contiguous ranges across this slice, in order.
+	Workers []int
+	// Tol is the quiescence tolerance (stopping rule); required.
+	Tol float64
+	// LocalSolver selects the factor backend on every worker (empty for
+	// default).
+	LocalSolver string
+	// SendThreshold suppresses unchanged wave re-announcements; defaults to
+	// Tol/100 (floor 1e-12), the fault-mode rule, because a real network
+	// always needs traffic to drain.
+	SendThreshold float64
+	// WatchdogMS is the workers' retransmission interval (default 50ms).
+	WatchdogMS int
+	// PollInterval spaces the coordinator's status polls (default 10ms).
+	PollInterval time.Duration
+	// StablePolls is how many consecutive polls must satisfy the stopping
+	// rule before the coordinator declares convergence (default 2) — the
+	// distributed analogue of the DES engine's no-pending-events check.
+	StablePolls int
+}
+
+func (c *CoordConfig) normalize() error {
+	if len(c.Workers) == 0 {
+		return errors.New("dist: no workers")
+	}
+	if c.Spec.Parts() < len(c.Workers) {
+		return fmt.Errorf("dist: %d workers for %d parts", len(c.Workers), c.Spec.Parts())
+	}
+	if !(c.Tol > 0) {
+		return errors.New("dist: Tol must be positive")
+	}
+	if c.SendThreshold <= 0 {
+		c.SendThreshold = math.Max(c.Tol/100, 1e-12)
+	}
+	if c.WatchdogMS <= 0 {
+		c.WatchdogMS = 50
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	if c.StablePolls <= 0 {
+		c.StablePolls = 2
+	}
+	return nil
+}
+
+// Result is the outcome of a distributed solve.
+type Result struct {
+	// X is the assembled solution estimate (owner fragments gathered from
+	// the workers).
+	X sparse.Vec
+	// Converged reports whether the stopping rule held before the context
+	// expired.
+	Converged bool
+	// Solves and Messages aggregate the workers' counters at the final poll.
+	Solves, Messages int
+	// Polls is the number of status rounds the coordinator ran.
+	Polls int
+	// MaxLastChange and TwinGap are the final poll's convergence measures.
+	MaxLastChange, TwinGap float64
+	// RMSError is the RMS distance to the exact solution, when Exact is
+	// given to Verify; NaN otherwise.
+	RMSError float64
+	// Owner maps part → worker member id, as assigned.
+	Owner []int
+}
+
+// ContiguousOwner assigns parts to workers in contiguous, near-equal ranges
+// — the paper's processor-per-subdomain mapping generalised to fewer
+// processors than subdomains.
+func ContiguousOwner(nParts int, workers []int) []int {
+	owner := make([]int, nParts)
+	w := len(workers)
+	for part := 0; part < nParts; part++ {
+		owner[part] = workers[part*w/nParts]
+	}
+	return owner
+}
+
+// Coordinate runs one distributed solve over tr: assign shards, wait ready,
+// start, poll until the stopping rule is stable (or ctx expires), stop, and
+// gather X. The coordinator member owns no parts; it only speaks the control
+// plane.
+func Coordinate(ctx context.Context, tr transport.Transport, cfg CoordConfig) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	p, err := cfg.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	nParts := p.Partition.NumParts()
+	owner := ContiguousOwner(nParts, cfg.Workers)
+
+	assign := &ctrlMsg{Type: msgAssign, Assign: &assignMsg{
+		Spec: cfg.Spec, Owner: owner, Tol: cfg.Tol,
+		LocalSolver:   cfg.LocalSolver,
+		SendThreshold: cfg.SendThreshold,
+		WatchdogMS:    cfg.WatchdogMS,
+	}}
+	for _, w := range cfg.Workers {
+		if err := sendCtrlRetry(ctx, tr, w, assign); err != nil {
+			return nil, fmt.Errorf("dist: assigning to %d: %w", w, err)
+		}
+	}
+	if err := awaitAll(ctx, tr, cfg.Workers, msgReady, nil); err != nil {
+		return nil, err
+	}
+	for _, w := range cfg.Workers {
+		if err := sendCtrlRetry(ctx, tr, w, &ctrlMsg{Type: msgStart}); err != nil {
+			return nil, fmt.Errorf("dist: starting %d: %w", w, err)
+		}
+	}
+
+	res := &Result{Owner: owner, RMSError: math.NaN()}
+	stable := 0
+	var last []*statusMsg
+	tick := time.NewTicker(cfg.PollInterval)
+	defer tick.Stop()
+poll:
+	for {
+		select {
+		case <-ctx.Done():
+			break poll
+		case <-tick.C:
+		}
+		for _, w := range cfg.Workers {
+			if err := sendCtrlRetry(ctx, tr, w, &ctrlMsg{Type: msgStatusRq}); err != nil {
+				return nil, fmt.Errorf("dist: polling %d: %w", w, err)
+			}
+		}
+		// A lost status reply must not wedge the run: bound the round and
+		// re-poll on silence (stability resets, so no false convergence).
+		roundCtx, roundCancel := context.WithTimeout(ctx, maxDuration(time.Second, 50*cfg.PollInterval))
+		statuses := make([]*statusMsg, 0, len(cfg.Workers))
+		err := awaitAll(roundCtx, tr, cfg.Workers, msgStatus, func(m *ctrlMsg) {
+			statuses = append(statuses, m.Status)
+		})
+		roundCancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				break poll // deadline: stop with whatever we have
+			}
+			if roundCtx.Err() != nil {
+				stable = 0
+				continue
+			}
+			return nil, err
+		}
+		res.Polls++
+		last = statuses
+		if quiescent(p.Partition.Links, cfg.Tol, statuses, res) {
+			stable++
+			if stable >= cfg.StablePolls {
+				res.Converged = true
+				break poll
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	// Stop and gather regardless of convergence — a deadline still yields the
+	// current estimate, mirroring the in-process engines' partial results.
+	stopCtx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		stopCtx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+	}
+	for _, w := range cfg.Workers {
+		if err := sendCtrlRetry(stopCtx, tr, w, &ctrlMsg{Type: msgStop}); err != nil {
+			return nil, fmt.Errorf("dist: stopping %d: %w", w, err)
+		}
+	}
+	res.X = make(sparse.Vec, p.System.Dim())
+	if err := awaitAll(stopCtx, tr, cfg.Workers, msgResult, func(m *ctrlMsg) {
+		for i, gv := range m.Result.Index {
+			res.X[gv] = m.Result.Value[i]
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if last != nil {
+		res.Solves, res.Messages = 0, 0
+		for _, st := range last {
+			res.Solves += st.Solves
+			res.Messages += st.Messages
+		}
+	}
+	return res, nil
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// awaitAll receives control packets until every listed member has produced
+// one message of the wanted type (workers may interleave other traffic).
+func awaitAll(ctx context.Context, tr transport.Transport, members []int, want string, fn func(*ctrlMsg)) error {
+	pending := make(map[int]bool, len(members))
+	for _, m := range members {
+		pending[m] = true
+	}
+	for len(pending) > 0 {
+		pkt, err := tr.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("dist: waiting for %s: %w", want, err)
+		}
+		if pkt.Kind != transport.KindControl {
+			continue
+		}
+		m, err := decodeCtrl(&pkt)
+		if err != nil {
+			continue
+		}
+		if m.Err != "" {
+			return fmt.Errorf("dist: worker %d failed: %s", pkt.From, m.Err)
+		}
+		if m.Type != want || !pending[int(pkt.From)] {
+			continue
+		}
+		delete(pending, int(pkt.From))
+		if fn != nil {
+			fn(m)
+		}
+	}
+	return nil
+}
+
+// quiescent evaluates the distributed stopping rule on one poll's statuses:
+// every part solved at least once, every last boundary change within Tol,
+// every twin gap (difference of the two port potentials across each DTLP)
+// within Tol, and every announced sequence number applied by its receiver —
+// the network is drained. It also records the poll's convergence measures in
+// res.
+func quiescent(links []partition.TwinLink, tol float64, statuses []*statusMsg, res *Result) bool {
+	ports := make(map[int32][]float64)
+	allSolved := true
+	maxChange := 0.0
+	applied := make(map[[2]int32]uint64)
+	for _, st := range statuses {
+		for _, ps := range st.Parts {
+			ports[ps.Part] = ps.Ports
+			if !ps.SolvedOnce {
+				allSolved = false
+			}
+			maxChange = math.Max(maxChange, ps.LastChange)
+		}
+		for _, pr := range st.Applied {
+			applied[[2]int32{pr.From, pr.To}] = pr.Seq
+		}
+	}
+	gap := twinGap(links, ports)
+	res.MaxLastChange, res.TwinGap = maxChange, gap
+	if !allSolved || maxChange > tol || !(gap <= tol) {
+		return false
+	}
+	for _, st := range statuses {
+		for _, nd := range st.Needed {
+			if applied[[2]int32{nd.From, nd.To}] < nd.Seq {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// twinGap computes the maximum absolute difference between the two port
+// potentials of every DTLP, from the per-part port vectors reported in the
+// statuses. A missing part makes the gap infinite (the poll raced a part
+// that has not reported yet).
+func twinGap(links []partition.TwinLink, ports map[int32][]float64) float64 {
+	gap := 0.0
+	for _, l := range links {
+		a, okA := ports[int32(l.PartA)]
+		b, okB := ports[int32(l.PartB)]
+		if !okA || !okB || l.PortA >= len(a) || l.PortB >= len(b) {
+			return math.Inf(1)
+		}
+		gap = math.Max(gap, math.Abs(a[l.PortA]-b[l.PortB]))
+	}
+	return gap
+}

@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sparse"
+	"repro/internal/transport"
+)
+
+// quickSpec is a small torn grid that converges fast but still crosses
+// member boundaries in both directions.
+var quickSpec = ProblemSpec{Rows: 17, Cols: 17, Seed: 3, PartsX: 2, PartsY: 2}
+
+// fabric builds an n-member network plus teardown.
+type fabricFn func(t *testing.T, n int) []transport.Transport
+
+func chanFabric(t *testing.T, n int) []transport.Transport {
+	t.Helper()
+	members := transport.NewChanNetwork(n)
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Close()
+		}
+	})
+	return members
+}
+
+func tcpFabric(t *testing.T, n int) []transport.Transport {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	members := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		members[i] = transport.NewTCPFromListener(i, lns[i], addrs)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Close()
+		}
+	})
+	return members
+}
+
+// runDistributed runs one coordinated solve: member 0 coordinates, members
+// 1..n-1 are workers, optionally behind an enabled fault spec.
+func runDistributed(t *testing.T, fab fabricFn, nWorkers int, spec ProblemSpec, faults string) *Result {
+	t.Helper()
+	members := fab(t, nWorkers+1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	workers := make([]int, nWorkers)
+	for i := 1; i <= nWorkers; i++ {
+		workers[i-1] = i
+		wtr := members[i]
+		if faults != "" {
+			fs, err := chaos.ParseSpec(faults)
+			if err != nil {
+				t.Fatalf("fault spec: %v", err)
+			}
+			// Distinct seed per member: independent fate streams, like the
+			// engines' per-pair streams.
+			fs.Seed += int64(i)
+			wtr = transport.WithFaults(wtr, fs, nWorkers+1, 100*time.Microsecond)
+		}
+		w := NewWorker(wtr)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	res, err := Coordinate(ctx, members[0], CoordConfig{
+		Spec: spec, Workers: workers, Tol: 1e-9,
+		WatchdogMS: 20, PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	// Shut the workers down so the goroutines exit before cleanup.
+	for _, w := range workers {
+		_ = sendCtrl(ctx, members[0], w, &ctrlMsg{Type: msgShutdown})
+	}
+	wg.Wait()
+	return res
+}
+
+func maxAbsDiff(a, b sparse.Vec) float64 {
+	d := 0.0
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}
+
+// checkAgainstOracle asserts the acceptance bar: the distributed run
+// converges and agrees with the in-process DES oracle to 1e-6.
+func checkAgainstOracle(t *testing.T, res *Result, spec ProblemSpec) {
+	t.Helper()
+	if !res.Converged {
+		t.Fatalf("distributed run did not converge (%d polls, maxChange=%g, gap=%g)",
+			res.Polls, res.MaxLastChange, res.TwinGap)
+	}
+	oracle, err := spec.Oracle(1e-9, "")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if d := maxAbsDiff(res.X, oracle.X); !(d <= 1e-6) {
+		t.Fatalf("distributed X differs from DES oracle by %g (> 1e-6)", d)
+	}
+	if res.Solves == 0 || res.Messages == 0 {
+		t.Fatalf("counters not aggregated: solves=%d messages=%d", res.Solves, res.Messages)
+	}
+}
+
+func TestDistributedChanMatchesOracle(t *testing.T) {
+	res := runDistributed(t, chanFabric, 4, quickSpec, "")
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestDistributedChanFewerWorkersThanParts(t *testing.T) {
+	// 2 workers own 2 parts each: exercises the in-process local-delivery
+	// short-circuit alongside cross-member traffic.
+	res := runDistributed(t, chanFabric, 2, quickSpec, "")
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestDistributedTCPMatchesOracle(t *testing.T) {
+	res := runDistributed(t, tcpFabric, 2, quickSpec, "")
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestDistributedChanWithDropConverges(t *testing.T) {
+	// 5% wave drop: the watchdog retransmission must carry the run to the
+	// same fixpoint regardless.
+	res := runDistributed(t, chanFabric, 4, quickSpec, "drop=0.05,seed=11")
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestWorkerServesMultipleSessions(t *testing.T) {
+	// A dtmd-style long-lived worker: two solves over the same worker
+	// processes, second session reuses the standing members.
+	members := chanFabric(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		w := NewWorker(members[i])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	for round := 0; round < 2; round++ {
+		spec := quickSpec
+		spec.Seed = int64(3 + round)
+		res, err := Coordinate(ctx, members[0], CoordConfig{
+			Spec: spec, Workers: []int{1, 2}, Tol: 1e-9,
+			WatchdogMS: 20, PollInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkAgainstOracle(t, res, spec)
+	}
+	for _, w := range []int{1, 2} {
+		_ = sendCtrl(ctx, members[0], w, &ctrlMsg{Type: msgShutdown})
+	}
+	wg.Wait()
+}
+
+func TestContiguousOwner(t *testing.T) {
+	owner := ContiguousOwner(4, []int{7, 9})
+	want := []int{7, 7, 9, 9}
+	for i := range want {
+		if owner[i] != want[i] {
+			t.Fatalf("owner = %v, want %v", owner, want)
+		}
+	}
+	owner = ContiguousOwner(3, []int{1, 2, 3})
+	for i, w := range []int{1, 2, 3} {
+		if owner[i] != w {
+			t.Fatalf("1:1 owner = %v", owner)
+		}
+	}
+}
+
+func TestCoordinateRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	members := chanFabric(t, 1)
+	cases := []CoordConfig{
+		{Spec: quickSpec, Workers: nil, Tol: 1e-9},
+		{Spec: quickSpec, Workers: []int{1, 2, 3, 4, 5}, Tol: 1e-9},
+		{Spec: quickSpec, Workers: []int{1}, Tol: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Coordinate(ctx, members[0], cfg); err == nil {
+			t.Fatalf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	p1, err := quickSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := quickSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.System.Dim() != p2.System.Dim() ||
+		p1.Partition.NumParts() != p2.Partition.NumParts() ||
+		len(p1.Partition.Links) != len(p2.Partition.Links) {
+		t.Fatal("re-tearing is not deterministic")
+	}
+	for i, l := range p1.Partition.Links {
+		if p2.Partition.Links[i] != l {
+			t.Fatalf("link %d differs across builds: %+v vs %+v", i, l, p2.Partition.Links[i])
+		}
+	}
+	// An out-of-range topology is rejected, not mis-built.
+	bad := quickSpec
+	bad.Topology = "nosuch"
+	if _, err := bad.Build(); err == nil {
+		t.Fatal("expected unknown-topology error")
+	}
+}
+
+// TestQuiescentRules drives the stopping predicate directly through its edge
+// cases: unsolved part, in-flight sequence numbers, twin gap.
+func TestQuiescentRules(t *testing.T) {
+	p, err := quickSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{}
+	mk := func() []*statusMsg {
+		sts := []*statusMsg{{}}
+		for part := 0; part < p.Partition.NumParts(); part++ {
+			sub := p.Partition.Subdomains[part]
+			sts[0].Parts = append(sts[0].Parts, partStatus{
+				Part: int32(part), SolvedOnce: true, Ports: make([]float64, sub.NumPorts),
+			})
+		}
+		return sts
+	}
+
+	sts := mk()
+	if !quiescent(p.Partition.Links, 1e-9, sts, res) {
+		t.Fatal("all-zero converged state should be quiescent")
+	}
+	sts[0].Parts[0].SolvedOnce = false
+	if quiescent(p.Partition.Links, 1e-9, sts, res) {
+		t.Fatal("unsolved part must block quiescence")
+	}
+
+	sts = mk()
+	sts[0].Parts[1].LastChange = 1e-3
+	if quiescent(p.Partition.Links, 1e-9, sts, res) {
+		t.Fatal("large boundary change must block quiescence")
+	}
+
+	sts = mk()
+	sts[0].Needed = []pairSeq{{From: 0, To: 1, Seq: 5}}
+	sts[0].Applied = []pairSeq{{From: 0, To: 1, Seq: 4}}
+	if quiescent(p.Partition.Links, 1e-9, sts, res) {
+		t.Fatal("in-flight sequence number must block quiescence")
+	}
+	sts[0].Applied[0].Seq = 5
+	if !quiescent(p.Partition.Links, 1e-9, sts, res) {
+		t.Fatal("drained network should be quiescent")
+	}
+
+	sts = mk()
+	if len(sts[0].Parts[0].Ports) > 0 {
+		sts[0].Parts[0].Ports[0] = 1e-3
+		if quiescent(p.Partition.Links, 1e-9, sts, res) {
+			t.Fatal("twin gap must block quiescence")
+		}
+	}
+}
+
+func ExampleProblemSpec_Oracle() {
+	spec := ProblemSpec{Rows: 9, Cols: 9, Seed: 1, PartsX: 2, PartsY: 1}
+	res, err := spec.Oracle(1e-8, "")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Converged)
+	// Output: true
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Control-plane protocol. Control messages ride transport.Packet.Ctrl as
+// JSON — they are rare (assignment, polling, teardown) so schema clarity
+// beats byte-shaving; the hot path (waves) stays binary.
+//
+// Shard lifecycle, as seen by a worker:
+//
+//	assign  → build the spec's problem, factorise the owned subdomains
+//	ready   ← all owned parts factorised
+//	start   → announce initial waves; enter the solve loop
+//	status  ⇄ report per-part convergence state + recovery sequence numbers
+//	stop    → leave the solve loop
+//	result  ← owner fragments of X
+//
+// A worker outlives sessions: after result it waits for the next assign
+// (the dtmd server mode), until shutdown or transport close.
+const (
+	msgAssign   = "assign"
+	msgReady    = "ready"
+	msgStart    = "start"
+	msgStatusRq = "status?"
+	msgStatus   = "status"
+	msgStop     = "stop"
+	msgResult   = "result"
+	msgShutdown = "shutdown"
+)
+
+type ctrlMsg struct {
+	Type   string     `json:"type"`
+	Assign *assignMsg `json:"assign,omitempty"`
+	Status *statusMsg `json:"status,omitempty"`
+	Result *resultMsg `json:"result,omitempty"`
+	// Err carries a worker-side failure back to the coordinator (fatal for
+	// the session).
+	Err string `json:"err,omitempty"`
+}
+
+// assignMsg tells a worker which shard of which problem it owns.
+type assignMsg struct {
+	Spec ProblemSpec `json:"spec"`
+	// Owner maps part → member id, for every part (workers need it to route
+	// waves to remote parts).
+	Owner []int `json:"owner"`
+	// Tol is the distributed quiescence tolerance.
+	Tol float64 `json:"tol"`
+	// LocalSolver selects the factor backend (empty for default).
+	LocalSolver string `json:"localSolver,omitempty"`
+	// SendThreshold suppresses unchanged wave re-announcements. The
+	// coordinator defaults it to Tol/100 — the fault-mode rule — because a
+	// real network always needs the traffic to drain.
+	SendThreshold float64 `json:"sendThreshold"`
+	// WatchdogMS is the wall-clock interval of the retransmission sweep.
+	WatchdogMS int `json:"watchdogMS"`
+}
+
+// pairSeq reports one directed part pair's recovery state.
+type pairSeq struct {
+	From int32  `json:"f"`
+	To   int32  `json:"t"`
+	Seq  uint64 `json:"s"`
+}
+
+// partStatus is one owned part's convergence state.
+type partStatus struct {
+	Part       int32     `json:"part"`
+	SolvedOnce bool      `json:"solvedOnce"`
+	LastChange float64   `json:"lastChange"`
+	Ports      []float64 `json:"ports"`
+}
+
+// statusMsg is a worker's poll reply. The coordinator joins Needed (sender
+// side) against Applied (receiver side) across workers to decide whether any
+// announced state is still in flight — the distributed pendingPairs check.
+type statusMsg struct {
+	Solves   int          `json:"solves"`
+	Messages int          `json:"messages"`
+	Parts    []partStatus `json:"parts"`
+	Needed   []pairSeq    `json:"needed,omitempty"`
+	Applied  []pairSeq    `json:"applied,omitempty"`
+}
+
+// resultMsg carries a worker's owner fragment of the assembled solution.
+type resultMsg struct {
+	Index []int32   `json:"index"`
+	Value []float64 `json:"value"`
+}
+
+// Shutdown asks a worker member to exit its Run loop (the dtmd coordinator
+// sends it after a solve unless told to keep the workers standing).
+func Shutdown(ctx context.Context, tr transport.Transport, worker int) error {
+	return sendCtrl(ctx, tr, worker, &ctrlMsg{Type: msgShutdown})
+}
+
+func sendCtrl(ctx context.Context, tr transport.Transport, to int, m *ctrlMsg) error {
+	ctrl, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s: %w", m.Type, err)
+	}
+	return tr.Send(ctx, to, transport.Packet{Kind: transport.KindControl, Ctrl: ctrl})
+}
+
+// sendCtrlRetry keeps retrying an unavailable peer until ctx expires.
+// Control messages must land: a coordinator may start before the worker
+// processes have bound their listeners, and a broken connection heals
+// through the transport's dial backoff — both look like ErrPeerUnavailable
+// for a while.
+func sendCtrlRetry(ctx context.Context, tr transport.Transport, to int, m *ctrlMsg) error {
+	for {
+		err := sendCtrl(ctx, tr, to, m)
+		if err == nil || !errors.Is(err, transport.ErrPeerUnavailable) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+func decodeCtrl(pkt *transport.Packet) (*ctrlMsg, error) {
+	var m ctrlMsg
+	if err := json.Unmarshal(pkt.Ctrl, &m); err != nil {
+		return nil, fmt.Errorf("dist: bad control packet from %d: %w", pkt.From, err)
+	}
+	return &m, nil
+}

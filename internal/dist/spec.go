@@ -1,0 +1,94 @@
+// Package dist runs DTM across the members of a transport.Transport — real
+// processes over TCP, or in-process members for tests — with the DES engine
+// retained as the deterministic oracle.
+//
+// The design exploits the paper's structure directly. DTM needs only
+// unreliable neighbour-to-neighbour wave messages, so the data plane is the
+// DES engine's wavePacket shape (link id + wave value, sequence-numbered per
+// directed part pair) carried verbatim by the transport, with the PR 6
+// recovery protocol on top: last-writer-wins deduplication at the receiver
+// and periodic watchdog retransmission at the sender, so dropped packets and
+// broken connections cost time, never correctness (Theorem 6.1
+// self-stabilisation). And because the tearing is deterministic —
+// partitioning, impedance assignment and local factorisation depend only on
+// the ProblemSpec — workers do not ship matrices: every member re-tears the
+// same problem locally and builds exactly the subdomains the in-process
+// engines would, so the wire carries only waves and small control messages.
+//
+// Roles: one coordinator (Coordinate) assigns a contiguous range of
+// subdomains to each worker (Worker.Run), polls statuses until the
+// distributed stopping rule holds — every part solved, boundary changes and
+// twin gaps below Tol, and every announced sequence number applied, stable
+// across consecutive polls — then gathers the owner fragments of X.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// ProblemSpec names a deterministically reproducible torn problem: every
+// member builds the same system, partition, impedances and factorisations
+// from it, so assigning work requires no bulk data transfer.
+type ProblemSpec struct {
+	// Rows, Cols are the grid dimensions of the generated SPD system
+	// (sparse.RandomGridSPD).
+	Rows, Cols int
+	// Seed seeds the generator.
+	Seed int64
+	// PartsX, PartsY tear the grid into PartsX·PartsY subdomains.
+	PartsX, PartsY int
+	// Topology names the machine: "uniform" (default), "mesh4x4", "mesh8x8",
+	// or "ring". The topology must have at least PartsX·PartsY processors.
+	Topology string
+	// Delay is the link delay of the "uniform" and "ring" topologies
+	// (default 10 time units).
+	Delay float64
+}
+
+// Parts returns the number of subdomains the spec tears into.
+func (s *ProblemSpec) Parts() int { return s.PartsX * s.PartsY }
+
+// Build tears the problem. Deterministic: every call, in every process,
+// yields the same system, partition and link numbering.
+func (s *ProblemSpec) Build() (*core.Problem, error) {
+	if s.Rows <= 0 || s.Cols <= 0 || s.PartsX <= 0 || s.PartsY <= 0 {
+		return nil, fmt.Errorf("dist: invalid problem spec %+v", *s)
+	}
+	sys := sparse.RandomGridSPD(s.Rows, s.Cols, s.Seed)
+	n := s.Parts()
+	delay := s.Delay
+	if delay <= 0 {
+		delay = 10
+	}
+	var topo *topology.Topology
+	switch s.Topology {
+	case "", "uniform":
+		topo = topology.Uniform(n, delay, "uniform")
+	case "mesh4x4":
+		topo = topology.Mesh4x4Paper()
+	case "mesh8x8":
+		topo = topology.Mesh8x8Paper()
+	case "ring":
+		topo = topology.Ring(n, delay)
+	default:
+		return nil, fmt.Errorf("dist: unknown topology %q", s.Topology)
+	}
+	if topo.N() < n {
+		return nil, fmt.Errorf("dist: topology %s has %d processors, spec needs %d", s.Topology, topo.N(), n)
+	}
+	return core.GridProblem(sys, s.Rows, s.Cols, s.PartsX, s.PartsY, topo)
+}
+
+// Oracle solves the spec's problem on the in-process DES engine — the
+// deterministic reference a distributed run is compared against.
+func (s *ProblemSpec) Oracle(tol float64, localSolver string) (*core.Result, error) {
+	p, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveDTM(p, core.Options{MaxTime: 1e9, Tol: tol, LocalSolver: localSolver})
+}

@@ -1,0 +1,428 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dtl"
+	"repro/internal/transport"
+)
+
+// Worker owns a group of subdomains in a distributed run: it factorises them
+// once on assignment, then reacts to whatever waves arrive — solve, announce,
+// repeat — with no synchronisation, exactly the per-processor loop of
+// Table 1 in the paper. Waves between two parts of the same worker are
+// applied in-process; waves to remote parts ride the transport with
+// sequence numbers, and a periodic watchdog re-announces the current waves
+// so losses cost time, not correctness.
+type Worker struct {
+	tr transport.Transport
+	// Logf, when non-nil, receives progress lines (the dtmd binary wires it
+	// to its logger; tests leave it nil).
+	Logf func(format string, args ...any)
+}
+
+// NewWorker wraps a transport member into a worker.
+func NewWorker(tr transport.Transport) *Worker { return &Worker{tr: tr} }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run serves solve sessions until the context is cancelled, the transport
+// closes, or a shutdown message arrives. Each session is one
+// assign→ready→start→solve→stop→result cycle; the worker (and its factor
+// cache) outlives sessions, so a long-lived dtmd process amortises
+// factorisation across solves.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		pkt, err := w.tr.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if pkt.Kind != transport.KindControl {
+			continue // stray wave from a finished session
+		}
+		m, err := decodeCtrl(&pkt)
+		if err != nil {
+			w.logf("worker %d: %v", w.tr.Self(), err)
+			continue
+		}
+		switch m.Type {
+		case msgShutdown:
+			return nil
+		case msgAssign:
+			if m.Assign == nil {
+				continue
+			}
+			coord := int(pkt.From)
+			if err := w.session(ctx, coord, m.Assign); err != nil {
+				if ctx.Err() != nil || errors.Is(err, transport.ErrClosed) {
+					return nil
+				}
+				w.logf("worker %d: session: %v", w.tr.Self(), err)
+				// Report the failure so the coordinator can abort the run.
+				_ = sendCtrl(ctx, w.tr, coord, &ctrlMsg{Type: msgReady, Err: err.Error()})
+			}
+		}
+	}
+}
+
+// session runs one assignment to completion.
+func (w *Worker) session(ctx context.Context, coord int, a *assignMsg) error {
+	self := w.tr.Self()
+	p, err := a.Spec.Build()
+	if err != nil {
+		return err
+	}
+	nParts := p.Partition.NumParts()
+	if len(a.Owner) != nParts {
+		return fmt.Errorf("dist: assignment maps %d parts, problem tears into %d", len(a.Owner), nParts)
+	}
+	zs, err := dtl.Assign(p.Partition, dtl.DiagScaled{Alpha: 1})
+	if err != nil {
+		return err
+	}
+	// Factorise only the owned subdomains — the whole point of sharding.
+	subs := make(map[int32]*core.Subdomain)
+	var owned []int32
+	for part := 0; part < nParts; part++ {
+		if a.Owner[part] != self {
+			continue
+		}
+		sd, err := core.NewSubdomain(p.Partition.Subdomains[part], p.Partition.LinksOfPart(part), zs, a.LocalSolver)
+		if err != nil {
+			return fmt.Errorf("dist: building subdomain %d: %w", part, err)
+		}
+		subs[int32(part)] = sd
+		owned = append(owned, int32(part))
+	}
+	if len(owned) == 0 {
+		return fmt.Errorf("dist: worker %d owns no parts", self)
+	}
+	w.logf("worker %d: owns parts %v (%d unknowns total)", self, owned, p.System.Dim())
+
+	s := &workerSession{
+		w: w, ctx: ctx, coord: coord, a: a, p: p, self: self,
+		subs: subs, owned: owned,
+		dedup:      transport.NewDedup(),
+		sentSeq:    make(map[[2]int32]uint64),
+		needed:     make(map[[2]int32]uint64),
+		lastSent:   make(map[int32][]float64),
+		lastChange: make(map[int32]float64),
+		solvedOnce: make(map[int32]bool),
+	}
+	for _, part := range owned {
+		ls := make([]float64, len(subs[part].Ends()))
+		for i := range ls {
+			ls[i] = math.NaN()
+		}
+		s.lastSent[part] = ls
+	}
+
+	if err := sendCtrlRetry(ctx, w.tr, coord, &ctrlMsg{Type: msgReady}); err != nil {
+		return err
+	}
+	return s.run()
+}
+
+// workerSession is the per-assignment solve state.
+type workerSession struct {
+	w     *Worker
+	ctx   context.Context
+	coord int
+	a     *assignMsg
+	p     *core.Problem
+	self  int
+
+	subs  map[int32]*core.Subdomain
+	owned []int32
+
+	dedup   *transport.Dedup
+	sentSeq map[[2]int32]uint64 // outgoing cross-member pair → last assigned seq
+	needed  map[[2]int32]uint64 // outgoing cross-member pair → newest state-bearing seq
+	// lastSent[part][endIdx] is the wave last announced on that end (NaN
+	// before the first send); the send threshold compares against it so a
+	// converged shard goes quiet and the network can drain.
+	lastSent   map[int32][]float64
+	lastChange map[int32]float64
+	solvedOnce map[int32]bool
+
+	solves   int
+	messages int
+
+	dirty      []int32
+	dirtySet   map[int32]bool
+	inFlightRx chan transport.Packet
+}
+
+func (s *workerSession) markDirty(part int32) {
+	if s.dirtySet == nil {
+		s.dirtySet = make(map[int32]bool)
+	}
+	if !s.dirtySet[part] {
+		s.dirtySet[part] = true
+		s.dirty = append(s.dirty, part)
+	}
+}
+
+func (s *workerSession) popDirty() (int32, bool) {
+	if len(s.dirty) == 0 {
+		return 0, false
+	}
+	part := s.dirty[0]
+	s.dirty = s.dirty[1:]
+	delete(s.dirtySet, part)
+	return part, true
+}
+
+// sendWaves announces part's current outgoing waves. initial sends the zero
+// boot waves of (5.6); retransmit is a watchdog sweep (always goes out to
+// remote neighbours with a fresh seq that does not raise the needed mark,
+// and skips local neighbours — in-process delivery cannot lose anything).
+// Regular sends are suppressed per neighbour when no wave moved more than
+// the send threshold.
+func (s *workerSession) sendWaves(part int32, initial, retransmit bool) {
+	sub := s.subs[part]
+	ends := sub.Ends()
+	ls := s.lastSent[part]
+	for _, remote := range sub.AdjacentParts() {
+		rp := int32(remote)
+		localDst := s.a.Owner[remote] == s.self
+		if retransmit && localDst {
+			continue
+		}
+		toward := sub.EndsTowards(remote)
+		entries := make([]transport.WaveEntry, 0, len(toward))
+		changed := initial || retransmit
+		for _, k := range toward {
+			w := 0.0
+			if !initial {
+				w = sub.OutgoingWave(k)
+			}
+			if !changed && !(math.Abs(w-ls[k]) <= s.a.SendThreshold) {
+				changed = true
+			}
+			entries = append(entries, transport.WaveEntry{LinkID: int32(ends[k].LinkID), Wave: w})
+		}
+		if !changed {
+			continue
+		}
+		for i, k := range toward {
+			ls[k] = entries[i].Wave
+		}
+		s.messages++
+		if localDst {
+			// Same worker: reliable in-process delivery, no seq needed.
+			dst := s.subs[rp]
+			for _, e := range entries {
+				dst.SetIncomingByLink(int(e.LinkID), e.Wave)
+			}
+			s.markDirty(rp)
+			continue
+		}
+		key := [2]int32{part, rp}
+		s.sentSeq[key]++
+		seq := s.sentSeq[key]
+		if !retransmit {
+			s.needed[key] = seq
+		}
+		pkt := transport.Packet{
+			Kind: transport.KindWave, FromPart: part, ToPart: rp,
+			Seq: seq, Entries: entries,
+		}
+		// Best-effort: a failed send is a lost datagram; the watchdog sweep
+		// re-announces.
+		_ = s.w.tr.Send(s.ctx, s.a.Owner[remote], pkt)
+	}
+}
+
+// solveDirty solves one dirty part and announces its new waves.
+func (s *workerSession) solveDirty() bool {
+	part, ok := s.popDirty()
+	if !ok {
+		return false
+	}
+	sub := s.subs[part]
+	change := sub.Solve()
+	s.solves++
+	s.lastChange[part] = change
+	s.solvedOnce[part] = true
+	s.sendWaves(part, false, false)
+	return true
+}
+
+// handleWave applies a received wave packet (LWW-deduplicated) to the owned
+// destination part.
+func (s *workerSession) handleWave(pkt *transport.Packet) {
+	sub, ok := s.subs[pkt.ToPart]
+	if !ok {
+		return // not ours — stale assignment or misroute; drop
+	}
+	if !s.dedup.Fresh(pkt) {
+		return // duplicate or overtaken (last-writer-wins)
+	}
+	for _, e := range pkt.Entries {
+		sub.SetIncomingByLink(int(e.LinkID), e.Wave)
+	}
+	s.markDirty(pkt.ToPart)
+}
+
+// status assembles the poll reply: per-part convergence state plus the
+// recovery protocol's sequence-number frontier.
+func (s *workerSession) status() *statusMsg {
+	st := &statusMsg{Solves: s.solves, Messages: s.messages}
+	for _, part := range s.owned {
+		sub := s.subs[part]
+		ports := make([]float64, sub.NumPorts())
+		for q := range ports {
+			ports[q] = sub.PortPotential(q)
+		}
+		st.Parts = append(st.Parts, partStatus{
+			Part:       part,
+			SolvedOnce: s.solvedOnce[part],
+			LastChange: s.lastChange[part],
+			Ports:      ports,
+		})
+		// Incoming cross-member pairs: the applied frontier.
+		for _, remote := range sub.AdjacentParts() {
+			if s.a.Owner[remote] == s.self {
+				continue
+			}
+			rp := int32(remote)
+			st.Applied = append(st.Applied, pairSeq{From: rp, To: part, Seq: s.dedup.Applied(rp, part)})
+		}
+	}
+	for key, seq := range s.needed {
+		st.Needed = append(st.Needed, pairSeq{From: key[0], To: key[1], Seq: seq})
+	}
+	return st
+}
+
+// run is the solve loop: drain the network, solve dirty parts, retransmit on
+// watchdog silence, answer polls, stop on command.
+func (s *workerSession) run() error {
+	// Pump receives into a channel so the loop can select over the watchdog.
+	sessCtx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	rx := make(chan transport.Packet, 1024)
+	pumpErr := make(chan error, 1)
+	go func() {
+		for {
+			pkt, err := s.w.tr.Recv(sessCtx)
+			if err != nil {
+				pumpErr <- err
+				close(rx)
+				return
+			}
+			rx <- pkt
+		}
+	}()
+
+	wdInterval := time.Duration(s.a.WatchdogMS) * time.Millisecond
+	if wdInterval <= 0 {
+		wdInterval = 50 * time.Millisecond
+	}
+	wd := time.NewTicker(wdInterval)
+	defer wd.Stop()
+
+	started := false
+	for {
+		// Drain everything already queued before doing local work, so a
+		// burst is folded in as one batch like the DES engine's OnMessages.
+		for {
+			var pkt transport.Packet
+			var ok bool
+			select {
+			case pkt, ok = <-rx:
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			stop, err := s.handle(&pkt, &started)
+			if err != nil || stop {
+				return err
+			}
+		}
+		if started && s.solveDirty() {
+			continue
+		}
+		select {
+		case pkt, ok := <-rx:
+			if !ok {
+				return <-pumpErr
+			}
+			stop, err := s.handle(&pkt, &started)
+			if err != nil || stop {
+				return err
+			}
+		case <-wd.C:
+			if started {
+				for _, part := range s.owned {
+					s.sendWaves(part, false, true)
+				}
+			}
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		}
+	}
+}
+
+// handle processes one packet; it reports stop=true when the session is done.
+func (s *workerSession) handle(pkt *transport.Packet, started *bool) (bool, error) {
+	if pkt.Kind == transport.KindWave {
+		if *started {
+			s.handleWave(pkt)
+		}
+		return false, nil
+	}
+	m, err := decodeCtrl(pkt)
+	if err != nil {
+		return false, nil // corrupt control packet: drop
+	}
+	switch m.Type {
+	case msgStart:
+		*started = true
+		// Boot: announce the zero initial waves of (5.6) on every pair.
+		// Receivers (local and remote) fold them in and solve — the
+		// asynchronous exchange bootstraps itself from there.
+		for _, part := range s.owned {
+			s.sendWaves(part, true, false)
+		}
+		// A worker whose parts have only local neighbours must seed itself.
+		for _, part := range s.owned {
+			s.markDirty(part)
+		}
+	case msgStatusRq:
+		_ = sendCtrl(s.ctx, s.w.tr, int(pkt.From), &ctrlMsg{Type: msgStatus, Status: s.status()})
+	case msgStop:
+		res := &resultMsg{}
+		owner := s.p.OwnerPairs()
+		for _, part := range s.owned {
+			x := s.subs[part].X()
+			for _, pair := range owner[part] {
+				res.Index = append(res.Index, int32(pair[1]))
+				res.Value = append(res.Value, x[pair[0]])
+			}
+		}
+		if err := sendCtrlRetry(s.ctx, s.w.tr, int(pkt.From), &ctrlMsg{Type: msgResult, Result: res}); err != nil {
+			return true, err
+		}
+		s.w.logf("worker %d: session done (%d solves, %d messages)", s.self, s.solves, s.messages)
+		return true, nil
+	case msgShutdown:
+		return true, transport.ErrClosed
+	}
+	return false, nil
+}

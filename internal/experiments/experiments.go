@@ -193,6 +193,23 @@ func Registry() map[string]Runner {
 			fmt.Fprintln(w)
 			return big.Render(w)
 		},
+		"compare-distributed": func(w io.Writer, quick bool) error {
+			p := DefaultCompareDistributedParams()
+			if quick {
+				p = QuickCompareDistributedParams()
+			}
+			r, err := CompareDistributed(p)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+			if !r.Agrees() {
+				return fmt.Errorf("experiments: E9 disagreement (see table)")
+			}
+			return nil
+		},
 	}
 }
 
@@ -203,5 +220,6 @@ func Names() []string {
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
 		"scale-sparse", "fault-sweep", "solve-throughput",
+		"compare-distributed",
 	}
 }

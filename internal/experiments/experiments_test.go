@@ -439,3 +439,63 @@ func TestSolveThroughputQuickStructure(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareDistributedQuickAgrees(t *testing.T) {
+	p := QuickCompareDistributedParams()
+	res, err := CompareDistributed(p)
+	if err != nil {
+		t.Fatalf("CompareDistributed: %v", err)
+	}
+	if len(res.Legs) != 3 {
+		t.Fatalf("legs = %d, want 3 (chan, tcp, chan+drop)", len(res.Legs))
+	}
+	if res.OracleSolves <= 0 {
+		t.Errorf("oracle solves = %d", res.OracleSolves)
+	}
+	for _, l := range res.Legs {
+		if !l.Converged {
+			t.Errorf("%s: did not converge", l.Fabric)
+		}
+		if !(l.MaxAbsDiff <= 1e-6) {
+			t.Errorf("%s: max|dx| = %g, want <= 1e-6", l.Fabric, l.MaxAbsDiff)
+		}
+		if l.Solves <= 0 || l.Messages <= 0 || l.Polls <= 0 {
+			t.Errorf("%s: counters solves=%d messages=%d polls=%d, all must be positive",
+				l.Fabric, l.Solves, l.Messages, l.Polls)
+		}
+	}
+	if !res.Agrees() {
+		t.Error("Agrees() = false on a fully passing run")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"fabric", "chan", "tcp", "drop=0.05", "PASS"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+}
+
+func TestScaleSparseQuickRunner(t *testing.T) {
+	var sb strings.Builder
+	if err := Registry()["scale-sparse"](&sb, true); err != nil {
+		t.Fatalf("scale-sparse quick: %v", err)
+	}
+	for _, want := range []string{"backend", "supernodal", "residual"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+}
+
+func TestCompareDistributedRunner(t *testing.T) {
+	var sb strings.Builder
+	if err := Registry()["compare-distributed"](&sb, true); err != nil {
+		t.Fatalf("compare-distributed quick: %v", err)
+	}
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Errorf("rendered report lacks a PASS verdict:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// chanTransport is the in-process Transport: every member is a buffered
+// channel, a send is a non-blocking enqueue onto the destination's inbox.
+// Delivery is FIFO per sender-receiver pair and lossless until the inbox
+// fills (then packets are dropped, like any congested datagram fabric), so
+// single-threaded protocol tests on top of it are deterministic.
+type chanTransport struct {
+	self  int
+	peers []int
+	net   *chanNetwork
+}
+
+type chanNetwork struct {
+	inboxes []chan Packet
+	closed  []chan struct{}
+	once    []sync.Once
+}
+
+// NewChanNetwork builds an n-member in-process fabric and returns one
+// Transport per member. Inboxes hold up to 4096 packets; a send to a full
+// inbox drops the packet (best-effort semantics, matching real datagram
+// loss) rather than blocking the sender.
+func NewChanNetwork(n int) []Transport {
+	net := &chanNetwork{
+		inboxes: make([]chan Packet, n),
+		closed:  make([]chan struct{}, n),
+		once:    make([]sync.Once, n),
+	}
+	for i := range net.inboxes {
+		net.inboxes[i] = make(chan Packet, 4096)
+		net.closed[i] = make(chan struct{})
+	}
+	ts := make([]Transport, n)
+	for i := range ts {
+		peers := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		ts[i] = &chanTransport{self: i, peers: peers, net: net}
+	}
+	return ts
+}
+
+func (t *chanTransport) Self() int    { return t.self }
+func (t *chanTransport) Peers() []int { return t.peers }
+
+func (t *chanTransport) Send(ctx context.Context, to int, pkt Packet) error {
+	if to < 0 || to >= len(t.net.inboxes) || to == t.self {
+		return fmt.Errorf("transport: invalid destination %d", to)
+	}
+	select {
+	case <-t.net.closed[t.self]:
+		return ErrClosed
+	default:
+	}
+	pkt.From = int32(t.self)
+	select {
+	case <-t.net.closed[to]:
+		return ErrPeerUnavailable
+	case t.net.inboxes[to] <- pkt:
+		return nil
+	default:
+		// Inbox full: the fabric is congested, the packet is lost. The
+		// protocol's retransmission recovers, and not blocking here keeps
+		// in-process tests deadlock-free.
+		return nil
+	}
+}
+
+func (t *chanTransport) Recv(ctx context.Context) (Packet, error) {
+	// Drain whatever is already queued even after Close.
+	select {
+	case pkt := <-t.net.inboxes[t.self]:
+		return pkt, nil
+	default:
+	}
+	select {
+	case pkt := <-t.net.inboxes[t.self]:
+		return pkt, nil
+	case <-t.net.closed[t.self]:
+		return Packet{}, ErrClosed
+	case <-ctx.Done():
+		return Packet{}, ctx.Err()
+	}
+}
+
+func (t *chanTransport) Close() error {
+	t.net.once[t.self].Do(func() { close(t.net.closed[t.self]) })
+	return nil
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. Every packet travels as one length-prefixed frame:
+//
+//	uint32  payload length (little-endian, excludes the prefix itself)
+//	uint8   kind
+//	int32   from (member id)
+//	int32   fromPart
+//	int32   toPart
+//	uint64  seq
+//	uint32  nEntries
+//	nEntries × { int32 linkID, float64 wave }   (IEEE-754 bits, little-endian)
+//	uint32  ctrlLen
+//	ctrlLen × byte
+//
+// Everything is little-endian and fixed-width: the format needs no schema
+// negotiation, decodes with zero reflection, and a wave entry is exactly 12
+// bytes. maxFrame bounds a frame at 16 MiB so a corrupt or hostile length
+// prefix cannot make the reader allocate unboundedly.
+
+const (
+	frameHeader = 1 + 4 + 4 + 4 + 8 + 4 // kind..nEntries
+	entrySize   = 4 + 8
+	maxFrame    = 16 << 20
+)
+
+// appendPacket encodes pkt as one frame (length prefix included) onto buf.
+func appendPacket(buf []byte, pkt *Packet) []byte {
+	payload := frameHeader + len(pkt.Entries)*entrySize + 4 + len(pkt.Ctrl)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	buf = append(buf, byte(pkt.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.FromPart))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.ToPart))
+	buf = binary.LittleEndian.AppendUint64(buf, pkt.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pkt.Entries)))
+	for _, e := range pkt.Entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.LinkID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Wave))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pkt.Ctrl)))
+	buf = append(buf, pkt.Ctrl...)
+	return buf
+}
+
+// decodePacket decodes one frame payload (length prefix already stripped).
+func decodePacket(payload []byte) (Packet, error) {
+	var pkt Packet
+	if len(payload) < frameHeader+4 {
+		return pkt, fmt.Errorf("transport: short frame (%d bytes)", len(payload))
+	}
+	pkt.Kind = Kind(payload[0])
+	pkt.From = int32(binary.LittleEndian.Uint32(payload[1:]))
+	pkt.FromPart = int32(binary.LittleEndian.Uint32(payload[5:]))
+	pkt.ToPart = int32(binary.LittleEndian.Uint32(payload[9:]))
+	pkt.Seq = binary.LittleEndian.Uint64(payload[13:])
+	n := int(binary.LittleEndian.Uint32(payload[21:]))
+	off := frameHeader
+	if n < 0 || len(payload) < off+n*entrySize+4 {
+		return pkt, fmt.Errorf("transport: frame truncated (%d entries, %d bytes)", n, len(payload))
+	}
+	if n > 0 {
+		pkt.Entries = make([]WaveEntry, n)
+		for i := range pkt.Entries {
+			pkt.Entries[i].LinkID = int32(binary.LittleEndian.Uint32(payload[off:]))
+			pkt.Entries[i].Wave = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4:]))
+			off += entrySize
+		}
+	}
+	cl := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if cl < 0 || len(payload) < off+cl {
+		return pkt, fmt.Errorf("transport: frame truncated (ctrl %d bytes, %d left)", cl, len(payload)-off)
+	}
+	if cl > 0 {
+		pkt.Ctrl = append([]byte(nil), payload[off:off+cl]...)
+	}
+	return pkt, nil
+}
+
+// readFrame reads one length-prefixed frame from r and decodes it.
+func readFrame(r io.Reader, scratch []byte) (Packet, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Packet{}, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return Packet{}, scratch, fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte cap", n, maxFrame)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return Packet{}, scratch, err
+	}
+	pkt, err := decodePacket(scratch)
+	return pkt, scratch, err
+}

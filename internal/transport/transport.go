@@ -1,0 +1,124 @@
+// Package transport abstracts the network a distributed DTM run exchanges
+// waves over. The paper's algorithm needs only unreliable, unordered,
+// neighbour-to-neighbour datagrams — no barrier, no broadcast, no delivery
+// guarantee — so the Transport interface is deliberately minimal: a member
+// can send a Packet to a peer, receive whatever has arrived, and close.
+// Reliability is the job of the protocol layered on top (per-directed-pair
+// sequence numbers with last-writer-wins deduplication plus watchdog
+// retransmission, the PR 6 recovery machinery), which package dist carries
+// over any Transport.
+//
+// Two implementations ship: an in-process channel fabric (NewChanNetwork) for
+// deterministic tests, and a TCP fabric (NewTCP) framing packets as
+// length-prefixed binary messages with lazy per-peer dialing and
+// exponential-backoff reconnection. WithFaults decorates any Transport with
+// the seeded chaos fault model (drops, duplicates, delay) so lossy-network
+// behaviour is testable on loopback. The interface carries no topology
+// assumptions — members are opaque integer ids — so non-mesh fabrics
+// (geometric spanners, Yao graphs) need no changes here.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// Kind discriminates what a Packet carries.
+type Kind uint8
+
+const (
+	// KindWave is a DTM wave packet: the outgoing waves of every DTL from
+	// FromPart toward ToPart, sequence-numbered for LWW deduplication.
+	KindWave Kind = iota
+	// KindControl is a control-plane message (assignment, status, stop …);
+	// the payload is in Ctrl and the protocol above defines its encoding.
+	KindControl
+)
+
+// WaveEntry is one wave: the DTL it travels on (global link id) and its
+// value u − Z·ω.
+type WaveEntry struct {
+	LinkID int32
+	Wave   float64
+}
+
+// Packet is the unit of exchange: either a wave packet between two parts or
+// a control message between two members. It mirrors the DES engine's
+// wavePacket shape so the recovery protocol (seq + LWW dedup) transfers
+// unchanged onto real networks.
+type Packet struct {
+	// Kind selects wave vs control.
+	Kind Kind
+	// From is the sending member's transport id (not a part id).
+	From int32
+	// FromPart and ToPart are the communicating subdomains of a wave packet
+	// (a member may own several parts). Unused for control packets.
+	FromPart, ToPart int32
+	// Seq numbers the waves of the directed pair FromPart→ToPart; receivers
+	// apply last-writer-wins per pair. Zero on control packets.
+	Seq uint64
+	// Entries are the waves (nil for control packets).
+	Entries []WaveEntry
+	// Ctrl is the opaque control payload (nil for wave packets).
+	Ctrl []byte
+}
+
+// Transport moves Packets between the members of one distributed run.
+// Implementations must allow concurrent Send calls; Recv is single-consumer.
+type Transport interface {
+	// Self is this member's id.
+	Self() int
+	// Peers lists the other members' ids, ascending.
+	Peers() []int
+	// Send delivers (or loses — delivery is best-effort) one packet to a
+	// peer. It blocks at most until ctx is done. A send to an unreachable
+	// peer may return ErrPeerUnavailable immediately; the caller's
+	// retransmission machinery is expected to recover.
+	Send(ctx context.Context, to int, pkt Packet) error
+	// Recv returns the next received packet, blocking until one arrives,
+	// ctx is done, or the transport is closed (ErrClosed).
+	Recv(ctx context.Context) (Packet, error)
+	// Close releases the member's resources. Packets already received stay
+	// readable until drained; then Recv returns ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by Recv after Close once the inbox is drained, and
+// by Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrPeerUnavailable is returned by Send when the peer cannot be reached
+// right now (connection refused, reconnect backoff in progress). The packet
+// is lost — exactly like a dropped datagram — and the protocol's watchdog
+// retransmission recovers.
+var ErrPeerUnavailable = errors.New("transport: peer unavailable")
+
+// Dedup is the receiver half of the recovery protocol: last-writer-wins
+// deduplication of wave packets per directed part pair. It is shared by the
+// dist worker and the conformance tests so every Transport is exercised
+// against the same rule the DES engine's fault layer pins.
+type Dedup struct {
+	applied map[[2]int32]uint64
+}
+
+// NewDedup returns an empty deduplicator.
+func NewDedup() *Dedup {
+	return &Dedup{applied: make(map[[2]int32]uint64)}
+}
+
+// Fresh reports whether the wave packet carries news on its directed pair —
+// a sequence number above everything applied so far — and records it if so.
+// Duplicated and overtaken packets return false and must be discarded.
+func (d *Dedup) Fresh(pkt *Packet) bool {
+	key := [2]int32{pkt.FromPart, pkt.ToPart}
+	if pkt.Seq <= d.applied[key] {
+		return false
+	}
+	d.applied[key] = pkt.Seq
+	return true
+}
+
+// Applied returns the newest sequence number applied on the directed pair.
+func (d *Dedup) Applied(fromPart, toPart int32) uint64 {
+	return d.applied[[2]int32{fromPart, toPart}]
+}
