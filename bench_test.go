@@ -107,6 +107,12 @@ func BenchmarkE8SolveThroughput(b *testing.B) { benchmarkExperiment(b, "solve-th
 // within 1e-6 on every leg.
 func BenchmarkE9CompareDistributed(b *testing.B) { benchmarkExperiment(b, "compare-distributed") }
 
+// BenchmarkE10FailoverSweep regenerates the worker-failover experiment (E10):
+// a mid-solve worker kill across heartbeat cadences (and under 5% wave drop),
+// measuring the wall/message/fencing cost of the reassign epoch, with every
+// leg checked against the DES oracle.
+func BenchmarkE10FailoverSweep(b *testing.B) { benchmarkExperiment(b, "failover-sweep") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

@@ -22,11 +22,13 @@
 //	  -keep-workers).
 //
 //	selftest:
-//	    dtmd -selftest -nworkers 2 [-drop 0.05]
+//	    dtmd -selftest -nworkers 2 [-drop 0.05] [-crash]
 //	  spawns real dtmd worker processes on loopback, coordinates a quick
 //	  problem against them, and exits 0 iff the distributed solution matches
-//	  the in-process DES oracle to 1e-6. This is the CI distributed smoke
-//	  test.
+//	  the in-process DES oracle to 1e-6. With -crash it SIGKILLs the last
+//	  worker process mid-solve and additionally requires the coordinator to
+//	  fail the dead worker's parts over to the survivors. This is the CI
+//	  distributed smoke test.
 package main
 
 import (
@@ -69,6 +71,11 @@ type options struct {
 	sendThreshold float64
 	watchdogMS    int
 	pollMS        int
+	heartbeat     time.Duration
+	leaseBeats    int
+	maxEpochs     int
+	noFailover    bool
+	crash         bool
 	timeout       time.Duration
 	drop          float64
 	cacheMB       int64
@@ -97,6 +104,11 @@ func main() {
 	flag.Float64Var(&o.sendThreshold, "send-threshold", 0, "wave re-announcement suppression threshold (default tol/100)")
 	flag.IntVar(&o.watchdogMS, "watchdog-ms", 50, "worker retransmission sweep interval")
 	flag.IntVar(&o.pollMS, "poll-ms", 10, "coordinator status poll interval")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 25*time.Millisecond, "worker heartbeat (and snapshot) interval")
+	flag.IntVar(&o.leaseBeats, "lease", 6, "coordinator: worker lease in heartbeat intervals")
+	flag.IntVar(&o.maxEpochs, "max-epochs", 8, "coordinator: give up after this many ownership epochs")
+	flag.BoolVar(&o.noFailover, "no-failover", false, "coordinator: surface a lost worker as an error instead of reassigning")
+	flag.BoolVar(&o.crash, "crash", false, "selftest: SIGKILL the last worker mid-solve and require failover")
 	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "coordinator/selftest deadline")
 	flag.Float64Var(&o.drop, "drop", 0, "inject this wave-drop probability on this member's sends (testing)")
 	flag.Int64Var(&o.cacheMB, "cache-mb", 64, "shared factor cache budget in MiB (0 disables)")
@@ -175,8 +187,12 @@ func coordinate(o *options, tr transport.Transport, addrs map[int]string) error 
 	res, err := dist.Coordinate(ctx, tr, dist.CoordConfig{
 		Spec: spec, Workers: workers, Tol: o.tol,
 		LocalSolver: o.localSolver, SendThreshold: o.sendThreshold,
-		WatchdogMS:   o.watchdogMS,
-		PollInterval: time.Duration(o.pollMS) * time.Millisecond,
+		WatchdogMS:      o.watchdogMS,
+		PollInterval:    time.Duration(o.pollMS) * time.Millisecond,
+		HeartbeatMS:     int(o.heartbeat / time.Millisecond),
+		LeaseBeats:      o.leaseBeats,
+		MaxEpochs:       o.maxEpochs,
+		DisableFailover: o.noFailover,
 	})
 	if err != nil {
 		return err
@@ -189,6 +205,10 @@ func coordinate(o *options, tr transport.Transport, addrs map[int]string) error 
 	fmt.Printf("polls            %d\n", res.Polls)
 	fmt.Printf("max last change  %.3e\n", res.MaxLastChange)
 	fmt.Printf("twin gap         %.3e\n", res.TwinGap)
+	if res.Failovers > 0 || res.Rejoins > 0 || res.Fenced > 0 {
+		fmt.Printf("failovers        %d (rejoins %d, epoch %d, fenced %d)\n",
+			res.Failovers, res.Rejoins, res.Epoch, res.Fenced)
+	}
 	if o.printX {
 		for i, v := range res.X {
 			fmt.Printf("x[%d] = %.12g\n", i, v)
@@ -213,7 +233,10 @@ func shutdownWorkers(tr transport.Transport, workers []int) {
 
 // selftest spawns real dtmd worker processes over loopback TCP, coordinates
 // a quick problem against them (optionally with injected wave drop), and
-// verifies the assembled solution against the in-process DES oracle.
+// verifies the assembled solution against the in-process DES oracle. With
+// -crash it SIGKILLs the last worker process as soon as the solve is in
+// flight and additionally requires at least one failover epoch: the proof
+// that a real process death costs time, never correctness.
 func selftest(o *options) error {
 	self, err := os.Executable()
 	if err != nil {
@@ -222,6 +245,9 @@ func selftest(o *options) error {
 	n := o.nworkers
 	if n < 1 {
 		return fmt.Errorf("-nworkers must be >= 1")
+	}
+	if o.crash && n < 2 {
+		return fmt.Errorf("-crash needs -nworkers >= 2 (someone must survive)")
 	}
 	// Reserve loopback ports: bind, record, release. SO_REUSEADDR makes the
 	// immediate rebind by the child reliable on loopback.
@@ -280,12 +306,30 @@ func selftest(o *options) error {
 		Rows: o.rows, Cols: o.cols, Seed: o.seed,
 		PartsX: o.px, PartsY: o.py, Topology: o.topo, Delay: o.delay,
 	}
-	res, err := dist.Coordinate(ctx, tr, dist.CoordConfig{
+	cfg := dist.CoordConfig{
 		Spec: spec, Workers: workers, Tol: o.tol,
 		LocalSolver: o.localSolver, SendThreshold: o.sendThreshold,
 		WatchdogMS:   o.watchdogMS,
 		PollInterval: time.Duration(o.pollMS) * time.Millisecond,
-	})
+		HeartbeatMS:  int(o.heartbeat / time.Millisecond),
+		LeaseBeats:   o.leaseBeats,
+		MaxEpochs:    o.maxEpochs,
+	}
+	if o.crash {
+		// SIGKILL the last worker once the solve is in flight (after the
+		// first status poll round has gone out) — no shutdown handshake, no
+		// flushed buffers, exactly what a machine death looks like.
+		victim := procs[len(procs)-1]
+		var killed bool
+		cfg.OnPoll = func(poll int) {
+			if poll >= 1 && !killed {
+				killed = true
+				fmt.Fprintf(os.Stderr, "dtmd: selftest killing worker %d (pid %d)\n", n, victim.Process.Pid)
+				_ = victim.Process.Signal(syscall.SIGKILL)
+			}
+		}
+	}
+	res, err := dist.Coordinate(ctx, tr, cfg)
 	if err != nil {
 		return err
 	}
@@ -293,6 +337,9 @@ func selftest(o *options) error {
 	if !res.Converged {
 		return fmt.Errorf("selftest: distributed run did not converge (polls=%d maxChange=%g gap=%g)",
 			res.Polls, res.MaxLastChange, res.TwinGap)
+	}
+	if o.crash && res.Failovers < 1 {
+		return fmt.Errorf("selftest: -crash run finished without a failover (epoch=%d)", res.Epoch)
 	}
 	oracle, err := spec.Oracle(o.tol, o.localSolver)
 	if err != nil {
@@ -306,11 +353,14 @@ func selftest(o *options) error {
 	if o.drop > 0 {
 		mode = fmt.Sprintf("drop=%g", o.drop)
 	}
+	if o.crash {
+		mode += "+crash"
+	}
 	if d > 1e-6 {
 		return fmt.Errorf("selftest FAIL (%s): distributed X differs from DES oracle by %g (> 1e-6)", mode, d)
 	}
-	fmt.Printf("selftest PASS (%s): %d worker processes, %d parts, max |x_dist - x_des| = %.3e, %d solves, %d messages\n",
-		mode, n, spec.Parts(), d, res.Solves, res.Messages)
+	fmt.Printf("selftest PASS (%s): %d worker processes, %d parts, max |x_dist - x_des| = %.3e, %d solves, %d messages, %d failovers (epoch %d)\n",
+		mode, n, spec.Parts(), d, res.Solves, res.Messages, res.Failovers, res.Epoch)
 	return nil
 }
 

@@ -46,7 +46,12 @@
 //     Transport interface, plus the chaos fault decorator;
 //   - internal/dist — coordinator/worker distributed DTM over a Transport:
 //     deterministic re-tearing from a ProblemSpec, sharded subdomain
-//     ownership, watchdog retransmission and the distributed stopping rule;
+//     ownership, watchdog retransmission and the distributed stopping rule,
+//     plus worker failover: heartbeats carrying wave frontiers and boundary
+//     snapshots, jittered coordinator leases, rendezvous-hashed ownership
+//     reassignment under fenced epochs (stale-epoch and dead-incarnation
+//     packets are dropped and counted), snapshot-seeded adoption by the
+//     survivors, and rejoin of restarted workers at a higher incarnation;
 //   - internal/iterative — the classical baselines (CG, Jacobi, Gauss–Seidel,
 //     SOR, synchronous and asynchronous block-Jacobi);
 //   - internal/experiments — one entry point per figure/table of the paper's

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"repro/internal/transport"
@@ -17,7 +19,8 @@ type CoordConfig struct {
 	// Spec is the problem every member re-tears locally.
 	Spec ProblemSpec
 	// Workers lists the transport member ids that own shards. Parts are
-	// assigned in contiguous ranges across this slice, in order.
+	// assigned in contiguous ranges across this slice, in order (the home
+	// map); failover re-derives ownership from the surviving subset.
 	Workers []int
 	// Tol is the quiescence tolerance (stopping rule); required.
 	Tol float64
@@ -30,12 +33,30 @@ type CoordConfig struct {
 	SendThreshold float64
 	// WatchdogMS is the workers' retransmission interval (default 50ms).
 	WatchdogMS int
+	// HeartbeatMS is the workers' heartbeat (and snapshot) interval
+	// (default 25ms).
+	HeartbeatMS int
+	// LeaseBeats sets a worker's lease to LeaseBeats missed heartbeats
+	// (default 6), plus a deterministic per-worker jitter of up to 25% so a
+	// uniformly slow fabric does not mass-expire the fleet at one instant.
+	LeaseBeats int
+	// MaxEpochs caps how many ownership epochs (1 initial + failovers +
+	// rejoins) the solve may burn before giving up (default 8) — a flapping
+	// fleet must fail loudly, not churn forever.
+	MaxEpochs int
+	// DisableFailover turns lease expiry into an immediate *WorkerLostError
+	// instead of a reassignment (strict mode).
+	DisableFailover bool
 	// PollInterval spaces the coordinator's status polls (default 10ms).
 	PollInterval time.Duration
 	// StablePolls is how many consecutive polls must satisfy the stopping
 	// rule before the coordinator declares convergence (default 2) — the
 	// distributed analogue of the DES engine's no-pending-events check.
 	StablePolls int
+	// OnPoll, when non-nil, is called just before status round n (0-based)
+	// is sent. Fault drills hook it to kill a worker at a deterministic
+	// point mid-solve.
+	OnPoll func(poll int)
 }
 
 func (c *CoordConfig) normalize() error {
@@ -54,6 +75,15 @@ func (c *CoordConfig) normalize() error {
 	if c.WatchdogMS <= 0 {
 		c.WatchdogMS = 50
 	}
+	if c.HeartbeatMS <= 0 {
+		c.HeartbeatMS = 25
+	}
+	if c.LeaseBeats <= 0 {
+		c.LeaseBeats = 6
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 8
+	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 10 * time.Millisecond
 	}
@@ -61,6 +91,11 @@ func (c *CoordConfig) normalize() error {
 		c.StablePolls = 2
 	}
 	return nil
+}
+
+// lease is the base lease duration (per-worker jitter applied on top).
+func (c *CoordConfig) lease() time.Duration {
+	return time.Duration(c.HeartbeatMS*c.LeaseBeats) * time.Millisecond
 }
 
 // Result is the outcome of a distributed solve.
@@ -73,15 +108,23 @@ type Result struct {
 	Converged bool
 	// Solves and Messages aggregate the workers' counters at the final poll.
 	Solves, Messages int
-	// Polls is the number of status rounds the coordinator ran.
+	// Polls is the number of completed status rounds the coordinator ran.
 	Polls int
 	// MaxLastChange and TwinGap are the final poll's convergence measures.
 	MaxLastChange, TwinGap float64
 	// RMSError is the RMS distance to the exact solution, when Exact is
 	// given to Verify; NaN otherwise.
 	RMSError float64
-	// Owner maps part → worker member id, as assigned.
+	// Owner maps part → worker member id under the final epoch.
 	Owner []int
+	// Failovers and Rejoins count ownership epochs burned on worker deaths
+	// and on restarted workers re-admitted, respectively.
+	Failovers, Rejoins int
+	// Epoch is the final ownership epoch (1 when nothing failed).
+	Epoch uint32
+	// Fenced aggregates the workers' zombie-wave drop counters at the final
+	// poll — nonzero proves the epoch/incarnation fences did real work.
+	Fenced uint64
 }
 
 // ContiguousOwner assigns parts to workers in contiguous, near-equal ranges
@@ -100,6 +143,15 @@ func ContiguousOwner(nParts int, workers []int) []int {
 // start, poll until the stopping rule is stable (or ctx expires), stop, and
 // gather X. The coordinator member owns no parts; it only speaks the control
 // plane.
+//
+// Liveness: every control message from a worker renews its lease; a worker
+// whose (jittered) lease lapses is declared dead and its parts are
+// deterministically reassigned to the survivors under a new fenced epoch,
+// seeded from its last heartbeat's boundary snapshots. A restarted worker
+// answering the coordinator's polls with a higher incarnation is revived and
+// handed its home parts back on the next epoch. When no failover can absorb
+// a loss (no survivors, DisableFailover, or MaxEpochs exhausted) Coordinate
+// returns a *WorkerLostError wrapping ErrWorkerLost.
 func Coordinate(ctx context.Context, tr transport.Transport, cfg CoordConfig) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -109,74 +161,64 @@ func Coordinate(ctx context.Context, tr transport.Transport, cfg CoordConfig) (*
 		return nil, err
 	}
 	nParts := p.Partition.NumParts()
-	owner := ContiguousOwner(nParts, cfg.Workers)
+	home := ContiguousOwner(nParts, cfg.Workers)
+	c := &coordinator{
+		tr: tr, cfg: &cfg, p: p,
+		home:     home,
+		owner:    append([]int(nil), home...),
+		epoch:    1,
+		specHash: cfg.Spec.Hash(),
+		snaps:    make(map[int32][]float64),
+		ms:       newMembership(cfg.Workers, cfg.lease(), cfg.Spec.Hash()),
+		res:      &Result{RMSError: math.NaN()},
+	}
+	return c.run(ctx)
+}
 
-	assign := &ctrlMsg{Type: msgAssign, Assign: &assignMsg{
-		Spec: cfg.Spec, Owner: owner, Tol: cfg.Tol,
-		LocalSolver:   cfg.LocalSolver,
-		SendThreshold: cfg.SendThreshold,
-		WatchdogMS:    cfg.WatchdogMS,
-	}}
-	for _, w := range cfg.Workers {
-		if err := sendCtrlRetry(ctx, tr, w, assign); err != nil {
-			return nil, fmt.Errorf("dist: assigning to %d: %w", w, err)
+// coordinator is the per-solve control-plane state.
+type coordinator struct {
+	tr  transport.Transport
+	cfg *CoordConfig
+	p   *core.Problem
+	res *Result
+
+	// home is the epoch-1 ownership map; owner is the current epoch's.
+	home, owner []int
+	epoch       uint32
+	specHash    uint64
+	ms          *membership
+	// snaps retains the last-known-good boundary snapshot per part, folded
+	// out of worker heartbeats (only from the part's current owner at the
+	// current epoch, so a stale owner cannot overwrite fresher state).
+	snaps map[int32][]float64
+
+	// Round state: statuses collected for the in-flight poll, by worker.
+	statuses map[int]*statusMsg
+	pollSent bool
+	// rejoins queues dead-declared members seen beating with a higher
+	// incarnation (recorded), to be re-admitted at the next epoch.
+	rejoins map[int]uint32
+}
+
+func (c *coordinator) run(ctx context.Context) (*Result, error) {
+	assign := c.assignMsg()
+	for _, w := range c.cfg.Workers {
+		if err := sendCtrlRetry(ctx, c.tr, w, &ctrlMsg{Type: msgAssign, Assign: assign}); err != nil {
+			return nil, lostError(w, c.owner, "assign")
 		}
 	}
-	if err := awaitAll(ctx, tr, cfg.Workers, msgReady, nil); err != nil {
+	if err := c.await(ctx, msgReady, c.cfg.Workers, nil); err != nil {
 		return nil, err
 	}
-	for _, w := range cfg.Workers {
-		if err := sendCtrlRetry(ctx, tr, w, &ctrlMsg{Type: msgStart}); err != nil {
-			return nil, fmt.Errorf("dist: starting %d: %w", w, err)
+	for _, w := range c.cfg.Workers {
+		if err := sendCtrlRetry(ctx, c.tr, w, &ctrlMsg{Type: msgStart}); err != nil {
+			return nil, lostError(w, c.owner, "start")
 		}
 	}
+	c.ms.start(time.Now())
 
-	res := &Result{Owner: owner, RMSError: math.NaN()}
-	stable := 0
-	var last []*statusMsg
-	tick := time.NewTicker(cfg.PollInterval)
-	defer tick.Stop()
-poll:
-	for {
-		select {
-		case <-ctx.Done():
-			break poll
-		case <-tick.C:
-		}
-		for _, w := range cfg.Workers {
-			if err := sendCtrlRetry(ctx, tr, w, &ctrlMsg{Type: msgStatusRq}); err != nil {
-				return nil, fmt.Errorf("dist: polling %d: %w", w, err)
-			}
-		}
-		// A lost status reply must not wedge the run: bound the round and
-		// re-poll on silence (stability resets, so no false convergence).
-		roundCtx, roundCancel := context.WithTimeout(ctx, maxDuration(time.Second, 50*cfg.PollInterval))
-		statuses := make([]*statusMsg, 0, len(cfg.Workers))
-		err := awaitAll(roundCtx, tr, cfg.Workers, msgStatus, func(m *ctrlMsg) {
-			statuses = append(statuses, m.Status)
-		})
-		roundCancel()
-		if err != nil {
-			if ctx.Err() != nil {
-				break poll // deadline: stop with whatever we have
-			}
-			if roundCtx.Err() != nil {
-				stable = 0
-				continue
-			}
-			return nil, err
-		}
-		res.Polls++
-		last = statuses
-		if quiescent(p.Partition.Links, cfg.Tol, statuses, res) {
-			stable++
-			if stable >= cfg.StablePolls {
-				res.Converged = true
-				break poll
-			}
-		} else {
-			stable = 0
-		}
+	if err := c.pollLoop(ctx); err != nil {
+		return nil, err
 	}
 
 	// Stop and gather regardless of convergence — a deadline still yields the
@@ -187,47 +229,116 @@ poll:
 		stopCtx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 	}
-	for _, w := range cfg.Workers {
-		if err := sendCtrlRetry(stopCtx, tr, w, &ctrlMsg{Type: msgStop}); err != nil {
-			return nil, fmt.Errorf("dist: stopping %d: %w", w, err)
+	alive := c.ms.alive()
+	for _, w := range alive {
+		if err := sendCtrlRetry(stopCtx, c.tr, w, &ctrlMsg{Type: msgStop}); err != nil {
+			return nil, lostError(w, c.owner, "stop")
 		}
 	}
-	res.X = make(sparse.Vec, p.System.Dim())
-	if err := awaitAll(stopCtx, tr, cfg.Workers, msgResult, func(m *ctrlMsg) {
+	// Dead members may still have a zombie process attached; tell it to stop
+	// too, best-effort (its results are not awaited).
+	for _, w := range c.ms.dead() {
+		_ = sendCtrl(stopCtx, c.tr, w, &ctrlMsg{Type: msgStop})
+	}
+	c.res.X = make(sparse.Vec, c.p.System.Dim())
+	if err := c.await(stopCtx, msgResult, alive, func(w int, m *ctrlMsg) {
 		for i, gv := range m.Result.Index {
-			res.X[gv] = m.Result.Value[i]
+			c.res.X[gv] = m.Result.Value[i]
 		}
 	}); err != nil {
 		return nil, err
 	}
-	if last != nil {
-		res.Solves, res.Messages = 0, 0
-		for _, st := range last {
-			res.Solves += st.Solves
-			res.Messages += st.Messages
+	c.res.Owner = append([]int(nil), c.owner...)
+	c.res.Epoch = c.epoch
+	return c.res, nil
+}
+
+func (c *coordinator) assignMsg() *assignMsg {
+	return &assignMsg{
+		Spec: c.cfg.Spec, Owner: append([]int(nil), c.owner...),
+		Tol:           c.cfg.Tol,
+		LocalSolver:   c.cfg.LocalSolver,
+		SendThreshold: c.cfg.SendThreshold,
+		WatchdogMS:    c.cfg.WatchdogMS,
+		HeartbeatMS:   c.cfg.HeartbeatMS,
+		Epoch:         c.epoch,
+	}
+}
+
+// classify folds one control message into the membership/snapshot/round
+// state (lease renewal, rejoin detection, snapshot retention, status
+// collection). It returns an error only for a worker-reported fatal failure.
+func (c *coordinator) classify(from int, m *ctrlMsg, now time.Time) error {
+	if m.Err != "" {
+		return fmt.Errorf("dist: worker %d failed: %s", from, m.Err)
+	}
+	switch m.Type {
+	case msgHeartbeat:
+		if m.HB == nil {
+			return nil
 		}
+		if c.ms.beat(from, m.HB.Inc, m.HB.Epoch, now) {
+			c.queueRejoin(from, m.HB.Inc)
+			return nil
+		}
+		if m.HB.Epoch == c.epoch {
+			for _, sn := range m.HB.Snaps {
+				if int(sn.Part) < len(c.owner) && c.owner[sn.Part] == from {
+					c.snaps[sn.Part] = append([]float64(nil), sn.Incoming...)
+				}
+			}
+		}
+	case msgHello:
+		if m.HB == nil {
+			return nil
+		}
+		// Only an idle (sessionless) worker answers a poll with hello: it is
+		// a restarted process — whether or not its previous life's lease has
+		// lapsed yet — and needs a fresh fenced assignment to participate.
+		// helloRejoin debounces the repeats the worker keeps sending until
+		// that assignment lands.
+		if c.ms.helloRejoin(from, m.HB.Inc, now) {
+			c.queueRejoin(from, m.HB.Inc)
+		}
+	case msgStatus:
+		c.ms.beat(from, 0, 0, now)
+		if m.Status != nil && m.Status.Epoch == c.epoch && c.statuses != nil {
+			c.statuses[from] = m.Status
+		}
+	default:
+		// ready/result renew the lease too; barrier-specific handling is in
+		// await.
+		c.ms.beat(from, 0, 0, now)
 	}
-	return res, nil
+	return nil
 }
 
-func maxDuration(a, b time.Duration) time.Duration {
-	if a > b {
-		return a
+func (c *coordinator) queueRejoin(w int, inc uint32) {
+	if c.rejoins == nil {
+		c.rejoins = make(map[int]uint32)
 	}
-	return b
+	c.rejoins[w] = inc
 }
 
-// awaitAll receives control packets until every listed member has produced
-// one message of the wanted type (workers may interleave other traffic).
-func awaitAll(ctx context.Context, tr transport.Transport, members []int, want string, fn func(*ctrlMsg)) error {
+// await receives control traffic until every listed member has produced one
+// message of the wanted type, folding everything else into the membership
+// state. A context expiry surfaces as a *WorkerLostError naming a still-
+// pending worker and its parts.
+func (c *coordinator) await(ctx context.Context, want string, members []int, fn func(int, *ctrlMsg)) error {
+	phase := map[string]string{msgReady: "ready", msgResult: "result"}[want]
 	pending := make(map[int]bool, len(members))
 	for _, m := range members {
 		pending[m] = true
 	}
 	for len(pending) > 0 {
-		pkt, err := tr.Recv(ctx)
+		pkt, err := c.tr.Recv(ctx)
 		if err != nil {
-			return fmt.Errorf("dist: waiting for %s: %w", want, err)
+			for _, w := range members {
+				if pending[w] {
+					return lostError(w, c.owner, phase)
+				}
+			}
+			return err
 		}
 		if pkt.Kind != transport.KindControl {
 			continue
@@ -236,16 +347,196 @@ func awaitAll(ctx context.Context, tr transport.Transport, members []int, want s
 		if err != nil {
 			continue
 		}
-		if m.Err != "" {
-			return fmt.Errorf("dist: worker %d failed: %s", pkt.From, m.Err)
+		if err := c.classify(int(pkt.From), m, time.Now()); err != nil {
+			return err
 		}
 		if m.Type != want || !pending[int(pkt.From)] {
 			continue
 		}
 		delete(pending, int(pkt.From))
 		if fn != nil {
-			fn(m)
+			fn(int(pkt.From), m)
 		}
+	}
+	return nil
+}
+
+// pollLoop is the solve-phase event loop: poll statuses on a cadence,
+// evaluate the stopping rule on complete rounds, renew leases from every
+// sign of life, fail over expired workers and re-admit restarted ones.
+func (c *coordinator) pollLoop(ctx context.Context) error {
+	stable := 0
+	round := 0
+	var lastFull []*statusMsg
+	nextPoll := time.Now().Add(c.cfg.PollInterval)
+	for {
+		if ctx.Err() != nil {
+			break // deadline: stop with whatever we have
+		}
+		now := time.Now()
+		if len(c.rejoins) > 0 {
+			if err := c.readmit(ctx, now); err != nil {
+				return err
+			}
+			stable, c.pollSent = 0, false
+		}
+		if expired := c.ms.expired(now); len(expired) > 0 {
+			if err := c.failover(ctx, expired); err != nil {
+				return err
+			}
+			stable, c.pollSent = 0, false
+		}
+		if !now.Before(nextPoll) {
+			if c.cfg.OnPoll != nil {
+				c.cfg.OnPoll(round)
+			}
+			round++
+			// Best-effort: a lost poll is re-sent next interval. Dead members
+			// are pinged too — a restarted process answers with hello and is
+			// re-admitted.
+			for _, w := range c.ms.alive() {
+				_ = sendCtrl(ctx, c.tr, w, &ctrlMsg{Type: msgStatusRq})
+			}
+			for _, w := range c.ms.dead() {
+				_ = sendCtrl(ctx, c.tr, w, &ctrlMsg{Type: msgStatusRq})
+			}
+			c.statuses = make(map[int]*statusMsg, len(c.ms.alive()))
+			c.pollSent = true
+			nextPoll = now.Add(c.cfg.PollInterval)
+		}
+		rctx, cancel := context.WithDeadline(ctx, nextPoll)
+		pkt, err := c.tr.Recv(rctx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return err
+			}
+			continue // recv window elapsed; run the lease/poll bookkeeping
+		}
+		if pkt.Kind != transport.KindControl {
+			continue
+		}
+		m, err := decodeCtrl(&pkt)
+		if err != nil {
+			continue
+		}
+		if err := c.classify(int(pkt.From), m, time.Now()); err != nil {
+			return err
+		}
+		if !c.pollSent || !c.roundComplete() {
+			continue
+		}
+		// Complete round: evaluate the stopping rule.
+		c.pollSent = false
+		c.res.Polls++
+		statuses := c.sortedStatuses()
+		lastFull = statuses
+		if quiescent(c.p.Partition.Links, c.cfg.Tol, statuses, c.res) {
+			stable++
+			if stable >= c.cfg.StablePolls {
+				c.res.Converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	if lastFull != nil {
+		c.res.Solves, c.res.Messages, c.res.Fenced = 0, 0, 0
+		for _, st := range lastFull {
+			c.res.Solves += st.Solves
+			c.res.Messages += st.Messages
+			c.res.Fenced += st.Fenced
+		}
+	}
+	return nil
+}
+
+// roundComplete reports whether every live worker has answered the in-flight
+// poll under the current epoch.
+func (c *coordinator) roundComplete() bool {
+	for _, w := range c.ms.alive() {
+		if c.statuses[w] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *coordinator) sortedStatuses() []*statusMsg {
+	workers := c.ms.alive()
+	statuses := make([]*statusMsg, 0, len(workers))
+	for _, w := range workers {
+		statuses = append(statuses, c.statuses[w])
+	}
+	return statuses
+}
+
+// failover declares the expired workers dead and moves their parts to the
+// survivors under a new fenced epoch.
+func (c *coordinator) failover(ctx context.Context, expired []int) error {
+	for _, w := range expired {
+		c.ms.markDead(w)
+	}
+	if err := c.reassign(ctx, expired[0], nil); err != nil {
+		return err
+	}
+	c.res.Failovers++
+	return nil
+}
+
+// readmit revives queued rejoining workers (restarted processes beating with
+// a higher incarnation) and hands their home parts back under a new epoch.
+func (c *coordinator) readmit(ctx context.Context, now time.Time) error {
+	lost := -1
+	revived := make(map[int]bool, len(c.rejoins))
+	for w, inc := range c.rejoins {
+		c.ms.revive(w, inc, now)
+		revived[w] = true
+		if lost < 0 || w < lost {
+			lost = w
+		}
+	}
+	c.rejoins = nil
+	if err := c.reassign(ctx, lost, revived); err != nil {
+		return err
+	}
+	c.res.Rejoins++
+	return nil
+}
+
+// reassign derives the next epoch's ownership map and broadcasts the fenced
+// reassignment to the live fleet, carrying the last-known-good snapshots of
+// every part that moved owner — and of every part owned by a just-revived
+// worker, whose previous life's state died with it. lost names a worker for
+// the error when no reassignment is possible.
+func (c *coordinator) reassign(ctx context.Context, lost int, revived map[int]bool) error {
+	alive := c.ms.alive()
+	if len(alive) == 0 || c.cfg.DisableFailover || int(c.epoch) >= c.cfg.MaxEpochs {
+		return lostError(lost, c.owner, "poll")
+	}
+	prev := c.owner
+	c.epoch++
+	c.owner = DeriveOwner(c.specHash, c.home, alive)
+	re := &reassignMsg{Epoch: c.epoch, Assign: *c.assignMsg()}
+	for part := range c.owner {
+		if c.owner[part] == prev[part] && !revived[c.owner[part]] {
+			continue
+		}
+		if sn, ok := c.snaps[int32(part)]; ok {
+			re.Snaps = append(re.Snaps, partSnap{Part: int32(part), Incoming: sn})
+		}
+	}
+	sort.Slice(re.Snaps, func(i, j int) bool { return re.Snaps[i].Part < re.Snaps[j].Part })
+	// Bounded per-worker delivery: a worker that dies mid-broadcast is
+	// caught by its own lease expiry on a later pass, not by wedging here.
+	for _, w := range alive {
+		wctx, cancel := context.WithTimeout(ctx, 2*c.cfg.lease())
+		_ = sendCtrlRetry(wctx, c.tr, w, &ctrlMsg{Type: msgReassign, Reassign: re})
+		cancel()
 	}
 	return nil
 }

@@ -1,0 +1,704 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/transport"
+)
+
+// failoverOpts parameterises one kill-a-worker distributed run.
+type failoverOpts struct {
+	fab      fabricFn
+	nWorkers int
+	faults   string
+	// restartAtPoll restarts the killed worker (Incarnation 2) at that poll
+	// (0 = never).
+	restartAtPoll int
+	disable       bool
+	stablePolls   int
+}
+
+// runFailoverKill runs a coordinated solve and kills the last worker at poll
+// 1 by cancelling its private context — the in-process analogue of SIGKILL:
+// the goroutines stop dead, the transport member stays bound, queued and
+// in-flight packets go stale.
+func runFailoverKill(t *testing.T, o failoverOpts) (*Result, error) {
+	t.Helper()
+	members := o.fab(t, o.nWorkers+1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	mktr := func(i int) transport.Transport {
+		wtr := members[i]
+		if o.faults != "" {
+			fs, err := chaos.ParseSpec(o.faults)
+			if err != nil {
+				t.Fatalf("fault spec: %v", err)
+			}
+			fs.Seed += int64(i)
+			wtr = transport.WithFaults(wtr, fs, o.nWorkers+1, 100*time.Microsecond)
+		}
+		return wtr
+	}
+
+	var wg sync.WaitGroup
+	workers := make([]int, o.nWorkers)
+	cancels := make([]context.CancelFunc, o.nWorkers+1)
+	for i := 1; i <= o.nWorkers; i++ {
+		workers[i-1] = i
+		wctx, wcancel := context.WithCancel(ctx)
+		cancels[i] = wcancel
+		w := NewWorker(mktr(i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(wctx)
+		}()
+	}
+
+	victim := o.nWorkers
+	var killOnce, restartOnce sync.Once
+	res, err := Coordinate(ctx, members[0], CoordConfig{
+		Spec: quickSpec, Workers: workers, Tol: 1e-9,
+		WatchdogMS: 20, PollInterval: 5 * time.Millisecond,
+		HeartbeatMS: 10, LeaseBeats: 4,
+		StablePolls:     max(o.stablePolls, 4),
+		DisableFailover: o.disable,
+		OnPoll: func(p int) {
+			if p >= 1 {
+				killOnce.Do(cancels[victim])
+			}
+			if o.restartAtPoll > 0 && p >= o.restartAtPoll {
+				restartOnce.Do(func() {
+					w := NewWorker(mktr(victim))
+					w.Incarnation = 2
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_ = w.Run(ctx)
+					}()
+				})
+			}
+		},
+	})
+	for _, w := range workers {
+		_ = sendCtrl(ctx, members[0], w, &ctrlMsg{Type: msgShutdown})
+	}
+	cancel()
+	wg.Wait()
+	return res, err
+}
+
+func TestFailoverChanMatchesOracle(t *testing.T) {
+	res, err := runFailoverKill(t, failoverOpts{fab: chanFabric, nWorkers: 3})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if res.Failovers < 1 || res.Epoch < 2 {
+		t.Fatalf("expected a failover epoch, got failovers=%d epoch=%d", res.Failovers, res.Epoch)
+	}
+	for part, w := range res.Owner {
+		if w == 3 {
+			t.Fatalf("part %d still owned by the dead worker", part)
+		}
+	}
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestFailoverTCPMatchesOracle(t *testing.T) {
+	res, err := runFailoverKill(t, failoverOpts{fab: tcpFabric, nWorkers: 2})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("expected a failover, got %d", res.Failovers)
+	}
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestFailoverChaosDropDupConverges(t *testing.T) {
+	// Failover under a lossy, duplicating fabric: the reassignment protocol
+	// itself must tolerate the chaos the solve protocol is built for.
+	res, err := runFailoverKill(t, failoverOpts{
+		fab: chanFabric, nWorkers: 3, faults: "drop=0.05,dup=0.05,seed=13",
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("expected a failover, got %d", res.Failovers)
+	}
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+func TestFailoverDisabledSurfacesLoss(t *testing.T) {
+	_, err := runFailoverKill(t, failoverOpts{fab: chanFabric, nWorkers: 3, disable: true})
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("expected ErrWorkerLost with failover disabled, got %v", err)
+	}
+	var wl *WorkerLostError
+	if !errors.As(err, &wl) || wl.Worker != 3 || len(wl.Parts) == 0 {
+		t.Fatalf("loss not attributed: %v", err)
+	}
+}
+
+func TestRejoinRestartedWorker(t *testing.T) {
+	res, err := runFailoverKill(t, failoverOpts{
+		fab: chanFabric, nWorkers: 3, restartAtPoll: 8, stablePolls: 6,
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if res.Rejoins < 1 {
+		t.Fatalf("expected the restarted worker to rejoin, got rejoins=%d (failovers=%d, epoch=%d)",
+			res.Rejoins, res.Failovers, res.Epoch)
+	}
+	if res.Owner[3] != 3 {
+		t.Fatalf("home part 3 not handed back to the rejoined worker: owner=%v", res.Owner)
+	}
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+// TestWorkerLostAssign: the assign phase cannot reach a worker whose
+// transport is gone — the error names the worker and its parts. (TCP: a
+// closed member refuses connections deterministically; the chan fabric keeps
+// accepting into the drainable inbox.)
+func TestWorkerLostAssign(t *testing.T) {
+	members := tcpFabric(t, 2)
+	members[1].Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := Coordinate(ctx, members[0], CoordConfig{Spec: quickSpec, Workers: []int{1}, Tol: 1e-9})
+	var wl *WorkerLostError
+	if !errors.Is(err, ErrWorkerLost) || !errors.As(err, &wl) {
+		t.Fatalf("expected *WorkerLostError, got %v", err)
+	}
+	if wl.Worker != 1 || wl.Phase != "assign" || len(wl.Parts) != quickSpec.Parts() {
+		t.Fatalf("loss misattributed: %+v", wl)
+	}
+}
+
+// TestWorkerLostReady: a worker that accepts the assignment but never
+// answers ready is reported lost, not waited on forever.
+func TestWorkerLostReady(t *testing.T) {
+	members := chanFabric(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := Coordinate(ctx, members[0], CoordConfig{Spec: quickSpec, Workers: []int{1}, Tol: 1e-9})
+	var wl *WorkerLostError
+	if !errors.As(err, &wl) || wl.Worker != 1 || wl.Phase != "ready" {
+		t.Fatalf("expected ready-phase WorkerLostError, got %v", err)
+	}
+}
+
+// TestWorkerLostStatus: the sole worker goes silent mid-solve; with no
+// survivors to fail over to, the poll loop surfaces a typed loss.
+func TestWorkerLostStatus(t *testing.T) {
+	members := chanFabric(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var wg sync.WaitGroup
+	w := NewWorker(members[1])
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(wctx)
+	}()
+	var killOnce sync.Once
+	_, err := Coordinate(ctx, members[0], CoordConfig{
+		Spec: quickSpec, Workers: []int{1}, Tol: 1e-9,
+		HeartbeatMS: 10, LeaseBeats: 3, PollInterval: 5 * time.Millisecond,
+		StablePolls: 1000, // keep polling: the kill must land mid-solve
+		OnPoll: func(p int) {
+			if p >= 1 {
+				killOnce.Do(wcancel)
+			}
+		},
+	})
+	var wl *WorkerLostError
+	if !errors.Is(err, ErrWorkerLost) || !errors.As(err, &wl) {
+		t.Fatalf("expected *WorkerLostError, got %v", err)
+	}
+	if wl.Worker != 1 || wl.Phase != "poll" || len(wl.Parts) != quickSpec.Parts() {
+		t.Fatalf("loss misattributed: %+v", wl)
+	}
+	wg.Wait()
+}
+
+// steppedAssign builds the epoch-1 assignment used by the deterministic
+// stepped harness (no coordinator, no goroutines).
+func steppedAssign(owner []int) *assignMsg {
+	return &assignMsg{
+		Spec: quickSpec, Owner: append([]int(nil), owner...),
+		Tol: 1e-9, SendThreshold: 1e-11, WatchdogMS: 50, HeartbeatMS: 25, Epoch: 1,
+	}
+}
+
+// runSteppedFailover runs a fully deterministic single-goroutine failover:
+// worker sessions over a chan fabric are stepped round-robin, the victim is
+// stopped at a fixed round, and the survivors adopt its parts from its last
+// heartbeat snapshot under epoch 2. It returns the assembled solution as
+// bytes (IEEE-754 bits), so two runs can be compared for byte identity.
+func runSteppedFailover(t *testing.T, nWorkers, victim, killRound int) []byte {
+	t.Helper()
+	members := transport.NewChanNetwork(nWorkers + 1)
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	coord := nWorkers
+	p, err := quickSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, nWorkers)
+	for i := range ids {
+		ids[i] = i
+	}
+	home := ContiguousOwner(p.Partition.NumParts(), ids)
+
+	sessions := make([]*workerSession, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w := NewWorker(members[i])
+		s, err := w.newSession(context.Background(), coord, steppedAssign(home))
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	for _, s := range sessions {
+		s.started = true
+		for _, part := range s.owned {
+			s.sendWaves(part, true, false)
+		}
+		s.markAllDirty()
+	}
+
+	// A cancelled context makes chan Recv a non-blocking drain.
+	drainCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	dead := make(map[int]bool)
+	for round := 0; round < 10000; round++ {
+		if round == killRound {
+			// The coordinator's view at the kill: the victim's last heartbeat
+			// is the last-known-good snapshot of its parts.
+			hb := sessions[victim].heartbeat()
+			dead[victim] = true
+			var alive []int
+			for _, id := range ids {
+				if !dead[id] {
+					alive = append(alive, id)
+				}
+			}
+			newOwner := DeriveOwner(quickSpec.Hash(), home, alive)
+			re := &reassignMsg{Epoch: 2, Assign: *steppedAssign(newOwner)}
+			re.Assign.Epoch = 2
+			for _, sn := range hb.Snaps {
+				if newOwner[sn.Part] != victim {
+					re.Snaps = append(re.Snaps, sn)
+				}
+			}
+			for _, id := range alive {
+				if err := sessions[id].applyReassign(re); err != nil {
+					t.Fatalf("reassign %d: %v", id, err)
+				}
+			}
+		}
+		progress := false
+		for i := 0; i < nWorkers; i++ {
+			for {
+				pkt, err := members[i].Recv(drainCtx)
+				if err != nil {
+					break
+				}
+				if dead[i] || pkt.Kind != transport.KindWave {
+					continue
+				}
+				sessions[i].handleWave(&pkt)
+				progress = true
+			}
+			if dead[i] {
+				continue
+			}
+			for sessions[i].solveDirty() {
+				progress = true
+			}
+		}
+		if !progress && round > killRound {
+			break
+		}
+	}
+
+	x := make([]float64, p.System.Dim())
+	ownerPairs := p.OwnerPairs()
+	for i, s := range sessions {
+		if dead[i] {
+			continue
+		}
+		for _, part := range s.owned {
+			xl := s.subs[part].X()
+			for _, pair := range ownerPairs[part] {
+				x[pair[1]] = xl[pair[0]]
+			}
+		}
+	}
+
+	// The stepped run must still land on the true solution.
+	oracle, err := quickSpec.Oracle(1e-9, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range x {
+		worst = math.Max(worst, math.Abs(x[i]-oracle.X[i]))
+	}
+	if !(worst <= 1e-6) {
+		t.Fatalf("stepped failover X differs from oracle by %g", worst)
+	}
+
+	buf := make([]byte, 0, 8*len(x))
+	for _, v := range x {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// TestFailoverDeterministicStepped pins the acceptance bar: the same seed
+// and kill point produce byte-identical failover results at GOMAXPROCS 1
+// and 4 (the harness is single-goroutine; the solve path it drives must be
+// free of map-iteration and scheduling nondeterminism).
+func TestFailoverDeterministicStepped(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	one := runSteppedFailover(t, 3, 2, 5)
+	oneAgain := runSteppedFailover(t, 3, 2, 5)
+	runtime.GOMAXPROCS(4)
+	four := runSteppedFailover(t, 3, 2, 5)
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(one, oneAgain) {
+		t.Fatal("stepped failover not deterministic across runs at GOMAXPROCS=1")
+	}
+	if !bytes.Equal(one, four) {
+		t.Fatal("stepped failover differs between GOMAXPROCS=1 and GOMAXPROCS=4")
+	}
+}
+
+// TestFencingStaleEpochWaves proves zombie packets are dropped AND counted:
+// waves from a stale epoch or an overtaken incarnation never reach the
+// subdomain, and the fence counter surfaces through the worker's status.
+func TestFencingStaleEpochWaves(t *testing.T) {
+	members := transport.NewChanNetwork(2)
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	w := NewWorker(members[0])
+	owner := make([]int, quickSpec.Parts()) // all parts on worker 0
+	s, err := w.newSession(context.Background(), 1, steppedAssign(owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.started = true
+	sub := s.subs[0]
+	link := int32(sub.Ends()[0].LinkID)
+	mk := func(epoch, inc uint32, seq uint64) *transport.Packet {
+		return &transport.Packet{
+			Kind: transport.KindWave, FromPart: 1, ToPart: 0,
+			Seq: seq, Epoch: epoch, Inc: inc,
+			Entries: []transport.WaveEntry{{LinkID: link, Wave: 1}},
+		}
+	}
+
+	s.handleWave(mk(0, 1, 1)) // stale epoch (session is at 1)
+	if got := s.dedup.Fenced(); got != 1 {
+		t.Fatalf("stale-epoch wave not counted: fenced=%d", got)
+	}
+	s.handleWave(mk(1, 2, 1)) // fresh: incarnation 2 registers
+	s.handleWave(mk(1, 1, 9)) // zombie incarnation
+	if got := s.dedup.Fenced(); got != 2 {
+		t.Fatalf("zombie-incarnation wave not counted: fenced=%d", got)
+	}
+
+	// Advance to epoch 2 via a reassign; yesterday's epoch is now fenced.
+	re := &reassignMsg{Epoch: 2, Assign: *steppedAssign(owner)}
+	re.Assign.Epoch = 2
+	if err := s.applyReassign(re); err != nil {
+		t.Fatal(err)
+	}
+	s.handleWave(mk(1, 2, 10))
+	if got := s.dedup.Fenced(); got != 3 {
+		t.Fatalf("post-reassign stale wave not counted: fenced=%d", got)
+	}
+	if st := s.status(); st.Fenced != 3 || st.Epoch != 2 {
+		t.Fatalf("status does not surface the fences: %+v", st)
+	}
+}
+
+// TestHeartbeatCarriesSnapshots: a heartbeat identifies the life and epoch
+// and carries one boundary snapshot per owned part, sized to the part's DTL
+// ends.
+func TestHeartbeatCarriesSnapshots(t *testing.T) {
+	members := transport.NewChanNetwork(2)
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	w := NewWorker(members[0])
+	w.Incarnation = 7
+	owner := make([]int, quickSpec.Parts())
+	s, err := w.newSession(context.Background(), 1, steppedAssign(owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := s.heartbeat()
+	if hb.Inc != 7 || hb.Epoch != 1 {
+		t.Fatalf("heartbeat identity wrong: %+v", hb)
+	}
+	if len(hb.Snaps) != len(s.owned) {
+		t.Fatalf("want %d snapshots, got %d", len(s.owned), len(hb.Snaps))
+	}
+	for i, sn := range hb.Snaps {
+		if sn.Part != s.owned[i] {
+			t.Fatalf("snapshot %d out of order: part %d", i, sn.Part)
+		}
+		if len(sn.Incoming) != len(s.subs[sn.Part].Ends()) {
+			t.Fatalf("snapshot %d has %d entries for %d ends", i, len(sn.Incoming), len(s.subs[sn.Part].Ends()))
+		}
+	}
+}
+
+// TestHeartbeatLeaseMembership drives the membership state machine through
+// beat, expiry, zombie and rejoin transitions with a fake clock.
+func TestHeartbeatLeaseMembership(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	ms := newMembership([]int{1, 2}, 100*time.Millisecond, 42)
+	ms.start(t0)
+
+	// Jitter is deterministic and within +0..25%.
+	l1, l2 := ms.leaseOf(1), ms.leaseOf(2)
+	if l1 != ms.leaseOf(1) {
+		t.Fatal("lease jitter not deterministic")
+	}
+	for _, l := range []time.Duration{l1, l2} {
+		if l < 100*time.Millisecond || l >= 125*time.Millisecond {
+			t.Fatalf("jittered lease %v out of [100ms, 125ms)", l)
+		}
+	}
+
+	if exp := ms.expired(t0.Add(50 * time.Millisecond)); len(exp) != 0 {
+		t.Fatalf("nothing should expire inside the lease: %v", exp)
+	}
+	// Both workers register incarnation 1; then worker 2 goes silent past
+	// every jittered lease while worker 1 keeps beating.
+	ms.beat(2, 1, 1, t0.Add(10*time.Millisecond))
+	ms.beat(1, 1, 1, t0.Add(100*time.Millisecond))
+	exp := ms.expired(t0.Add(200 * time.Millisecond))
+	if len(exp) != 1 || exp[0] != 2 {
+		t.Fatalf("want worker 2 expired, got %v", exp)
+	}
+	ms.markDead(2)
+	if a := ms.alive(); len(a) != 1 || a[0] != 1 {
+		t.Fatalf("alive = %v", a)
+	}
+
+	// A dead-declared member beating with a real incarnation is a live
+	// process: the same incarnation is a false expiry (a dead one is silent),
+	// a higher one a restart — both must readmit. An incarnation-less beat
+	// (status/ready-style, inc 0) must not.
+	if ms.beat(2, 0, 0, t0.Add(205*time.Millisecond)) {
+		t.Fatal("incarnation-less beat from a dead member must not rejoin")
+	}
+	if !ms.beat(2, 1, 0, t0.Add(210*time.Millisecond)) {
+		t.Fatal("false-expiry beat (same incarnation) must readmit")
+	}
+	if !ms.beat(2, 2, 0, t0.Add(220*time.Millisecond)) {
+		t.Fatal("higher-incarnation beat must rejoin")
+	}
+	ms.revive(2, 2, t0.Add(220*time.Millisecond))
+	if a := ms.alive(); len(a) != 2 {
+		t.Fatalf("alive after revive = %v", a)
+	}
+	// A straggler from the pre-restart life (inc 1 < recorded 2) is a true
+	// zombie once the member is dead again: it must stay ignored.
+	ms.markDead(2)
+	if ms.beat(2, 1, 0, t0.Add(230*time.Millisecond)) {
+		t.Fatal("stale-incarnation beat after an admitted restart must not rejoin")
+	}
+	ms.revive(2, 2, t0.Add(240*time.Millisecond))
+	if exp := ms.expired(t0.Add(300 * time.Millisecond)); len(exp) != 1 || exp[0] != 1 {
+		t.Fatalf("want worker 1 expired after revive, got %v", exp)
+	}
+}
+
+// TestDeriveOwner pins the rendezvous re-assignment: history-free,
+// deterministic, home-preserving, and survivors-only.
+func TestDeriveOwner(t *testing.T) {
+	spec := quickSpec.Hash()
+	home := []int{1, 1, 2, 3}
+
+	all := DeriveOwner(spec, home, []int{1, 2, 3})
+	for part, w := range all {
+		if w != home[part] {
+			t.Fatalf("with everyone alive, owner must be home: got %v", all)
+		}
+	}
+
+	no3 := DeriveOwner(spec, home, []int{1, 2})
+	for part, w := range no3 {
+		if w == 3 {
+			t.Fatalf("dead worker still assigned: %v", no3)
+		}
+		if home[part] != 3 && w != home[part] {
+			t.Fatalf("surviving home ownership disturbed: %v", no3)
+		}
+	}
+	if again := DeriveOwner(spec, home, []int{1, 2}); !equalInts(no3, again) {
+		t.Fatal("DeriveOwner is not deterministic")
+	}
+
+	// Rejoin: reviving worker 3 restores exactly the home map.
+	back := DeriveOwner(spec, home, []int{1, 2, 3})
+	if !equalInts(back, home) {
+		t.Fatalf("rejoin does not restore home ownership: %v", back)
+	}
+
+	sole := DeriveOwner(spec, home, []int{2})
+	for _, w := range sole {
+		if w != 2 {
+			t.Fatalf("sole survivor must own everything: %v", sole)
+		}
+	}
+}
+
+// TestReassignDropsDirtyPart: handing a part back while it sits in the dirty
+// queue must purge it from the queue — a pending solve on a dropped part
+// would dereference the deleted subdomain (regression: SIGSEGV under -race
+// in the rejoin path).
+func TestReassignDropsDirtyPart(t *testing.T) {
+	members := transport.NewChanNetwork(3)
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	w := NewWorker(members[0])
+	owner := make([]int, quickSpec.Parts()) // all parts on worker 0
+	s, err := w.newSession(context.Background(), 2, steppedAssign(owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.started = true
+	s.markAllDirty()
+
+	// Hand the last part to worker 1 while it is still dirty.
+	handed := int32(quickSpec.Parts() - 1)
+	newOwner := append([]int(nil), owner...)
+	newOwner[handed] = 1
+	re := &reassignMsg{Epoch: 2, Assign: *steppedAssign(newOwner)}
+	re.Assign.Epoch = 2
+	if err := s.applyReassign(re); err != nil {
+		t.Fatal(err)
+	}
+	if s.dirtySet[handed] {
+		t.Fatalf("part %d still in the dirty set after handback", handed)
+	}
+	// Drain the whole dirty queue: no pop may name the handed part, and none
+	// may panic on a nil subdomain.
+	for s.solveDirty() {
+	}
+	if _, ok := s.subs[handed]; ok {
+		t.Fatalf("part %d still torn after handback", handed)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWorkerDropsCorruptCtrl: malformed control payloads are dropped and
+// counted, in-session and idle, without ever panicking or killing the loop.
+func TestWorkerDropsCorruptCtrl(t *testing.T) {
+	members := transport.NewChanNetwork(2)
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	w := NewWorker(members[0])
+	owner := make([]int, quickSpec.Parts())
+	s, err := w.newSession(context.Background(), 1, steppedAssign(owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctrl := range [][]byte{nil, []byte(`{"type":`), []byte(`"start"`), []byte("\xff\xfe")} {
+		stop, err := s.handle(&transport.Packet{Kind: transport.KindControl, From: 1, Ctrl: ctrl})
+		if stop || err != nil {
+			t.Fatalf("corrupt ctrl %q terminated the session: stop=%v err=%v", ctrl, stop, err)
+		}
+	}
+	if got := w.BadCtrl(); got != 4 {
+		t.Fatalf("want 4 bad-ctrl drops, got %d", got)
+	}
+	// A reassign with a malformed owner map is counted, not applied.
+	re := &reassignMsg{Epoch: 9, Assign: assignMsg{Owner: []int{0}, Epoch: 9}}
+	if err := s.applyReassign(re); err != nil {
+		t.Fatal(err)
+	}
+	if s.epoch != 1 || w.BadCtrl() != 5 {
+		t.Fatalf("malformed reassign applied: epoch=%d badCtrl=%d", s.epoch, w.BadCtrl())
+	}
+}
+
+// TestWorkerIdleSurvivesCorruptCtrl: an idle worker fed garbage frames keeps
+// serving (answers the next status poll with hello).
+func TestWorkerIdleSurvivesCorruptCtrl(t *testing.T) {
+	members := chanFabric(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	w := NewWorker(members[1])
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(ctx)
+	}()
+	for i := 0; i < 3; i++ {
+		_ = members[0].Send(ctx, 1, transport.Packet{Kind: transport.KindControl, Ctrl: []byte("garbage")})
+	}
+	_ = sendCtrl(ctx, members[0], 1, &ctrlMsg{Type: msgStatusRq})
+	pkt, err := members[0].Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeCtrl(&pkt)
+	if err != nil || m.Type != msgHello || m.HB == nil || m.HB.Inc != 1 {
+		t.Fatalf("idle worker did not hello after garbage: %v %+v", err, m)
+	}
+	_ = sendCtrl(ctx, members[0], 1, &ctrlMsg{Type: msgShutdown})
+	wg.Wait()
+	if w.BadCtrl() < 3 {
+		t.Fatalf("bad-ctrl counter = %d, want >= 3", w.BadCtrl())
+	}
+}

@@ -25,22 +25,40 @@ import (
 //
 // A worker outlives sessions: after result it waits for the next assign
 // (the dtmd server mode), until shutdown or transport close.
+//
+// Failover extends the lifecycle with three messages. Workers in a session
+// send periodic heartbeats carrying their incarnation, their ownership
+// epoch, their applied/needed sequence frontiers and a boundary-state
+// snapshot of every owned part; the coordinator grants each worker a lease
+// renewed by any sign of life and declares it dead after the (jittered)
+// lease lapses. On death it broadcasts a fenced reassign: a higher epoch, a
+// deterministically re-derived ownership map, and the last-known-good
+// snapshots of the reassigned parts, so survivors adopt the dead worker's
+// subdomains and resume from the freshest reported boundary state. An idle
+// worker answers polls with hello (its incarnation); a restarted worker
+// hello-ing with a higher incarnation is handed parts back on the next
+// epoch.
 const (
-	msgAssign   = "assign"
-	msgReady    = "ready"
-	msgStart    = "start"
-	msgStatusRq = "status?"
-	msgStatus   = "status"
-	msgStop     = "stop"
-	msgResult   = "result"
-	msgShutdown = "shutdown"
+	msgAssign    = "assign"
+	msgReady     = "ready"
+	msgStart     = "start"
+	msgStatusRq  = "status?"
+	msgStatus    = "status"
+	msgStop      = "stop"
+	msgResult    = "result"
+	msgShutdown  = "shutdown"
+	msgHeartbeat = "heartbeat"
+	msgReassign  = "reassign"
+	msgHello     = "hello"
 )
 
 type ctrlMsg struct {
-	Type   string     `json:"type"`
-	Assign *assignMsg `json:"assign,omitempty"`
-	Status *statusMsg `json:"status,omitempty"`
-	Result *resultMsg `json:"result,omitempty"`
+	Type     string        `json:"type"`
+	Assign   *assignMsg    `json:"assign,omitempty"`
+	Status   *statusMsg    `json:"status,omitempty"`
+	Result   *resultMsg    `json:"result,omitempty"`
+	HB       *heartbeatMsg `json:"hb,omitempty"`
+	Reassign *reassignMsg  `json:"reassign,omitempty"`
 	// Err carries a worker-side failure back to the coordinator (fatal for
 	// the session).
 	Err string `json:"err,omitempty"`
@@ -62,6 +80,44 @@ type assignMsg struct {
 	SendThreshold float64 `json:"sendThreshold"`
 	// WatchdogMS is the wall-clock interval of the retransmission sweep.
 	WatchdogMS int `json:"watchdogMS"`
+	// HeartbeatMS is the wall-clock interval of the worker's heartbeat (and
+	// therefore of its boundary-state snapshots).
+	HeartbeatMS int `json:"heartbeatMS"`
+	// Epoch is the ownership epoch this map was derived under; wave packets
+	// carry it and receivers fence mismatches.
+	Epoch uint32 `json:"epoch"`
+}
+
+// partSnap is the boundary-state snapshot of one part: the latest incoming
+// wave per DTL end, in end order (deterministic from the spec). It is the
+// complete recovery state — a subdomain's solution is a pure function of its
+// constant local system and its incoming waves — and it is small: boundary
+// ports only, never interior unknowns.
+type partSnap struct {
+	Part     int32     `json:"part"`
+	Incoming []float64 `json:"incoming"`
+}
+
+// heartbeatMsg is a worker's periodic liveness beat: its incarnation, the
+// epoch it operates under, its sequence frontiers and the boundary snapshots
+// the coordinator retains as last-known-good recovery state. An idle worker
+// sends it with Epoch 0 as a hello (re-registration).
+type heartbeatMsg struct {
+	Inc     uint32     `json:"inc"`
+	Epoch   uint32     `json:"epoch"`
+	Needed  []pairSeq  `json:"needed,omitempty"`
+	Applied []pairSeq  `json:"applied,omitempty"`
+	Snaps   []partSnap `json:"snaps,omitempty"`
+}
+
+// reassignMsg is the fenced ownership change of one failover or rejoin
+// epoch: the full assignment under the new map (self-contained, so an idle
+// rejoined worker can start a session from it) plus the last-known-good
+// snapshots of the parts that changed owner.
+type reassignMsg struct {
+	Epoch  uint32     `json:"epoch"`
+	Assign assignMsg  `json:"assign"`
+	Snaps  []partSnap `json:"snaps,omitempty"`
 }
 
 // pairSeq reports one directed part pair's recovery state.
@@ -88,6 +144,14 @@ type statusMsg struct {
 	Parts    []partStatus `json:"parts"`
 	Needed   []pairSeq    `json:"needed,omitempty"`
 	Applied  []pairSeq    `json:"applied,omitempty"`
+	// Inc and Epoch identify which life and ownership map produced this
+	// status; the coordinator discards statuses from stale epochs.
+	Inc   uint32 `json:"inc"`
+	Epoch uint32 `json:"epoch"`
+	// Fenced counts wave packets dropped by the epoch/incarnation fences;
+	// BadCtrl counts malformed control frames dropped by this worker.
+	Fenced  uint64 `json:"fenced,omitempty"`
+	BadCtrl uint64 `json:"badCtrl,omitempty"`
 }
 
 // resultMsg carries a worker's owner fragment of the assembled solution.

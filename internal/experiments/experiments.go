@@ -193,6 +193,23 @@ func Registry() map[string]Runner {
 			fmt.Fprintln(w)
 			return big.Render(w)
 		},
+		"failover-sweep": func(w io.Writer, quick bool) error {
+			p := DefaultFailoverSweepParams()
+			if quick {
+				p = QuickFailoverSweepParams()
+			}
+			r, err := FailoverSweep(p)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+			if !r.Agrees() {
+				return fmt.Errorf("experiments: E10 disagreement (see table)")
+			}
+			return nil
+		},
 		"compare-distributed": func(w io.Writer, quick bool) error {
 			p := DefaultCompareDistributedParams()
 			if quick {
@@ -220,6 +237,6 @@ func Names() []string {
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
 		"scale-sparse", "fault-sweep", "solve-throughput",
-		"compare-distributed",
+		"compare-distributed", "failover-sweep",
 	}
 }

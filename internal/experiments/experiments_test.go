@@ -499,3 +499,51 @@ func TestCompareDistributedRunner(t *testing.T) {
 		t.Errorf("rendered report lacks a PASS verdict:\n%s", sb.String())
 	}
 }
+
+func TestFailoverSweepQuickAgrees(t *testing.T) {
+	p := QuickFailoverSweepParams()
+	res, err := FailoverSweep(p)
+	if err != nil {
+		t.Fatalf("FailoverSweep: %v", err)
+	}
+	// baseline + one kill leg per heartbeat cadence + the kill-under-drop leg.
+	want := 1 + len(p.Heartbeats) + 1
+	if len(res.Legs) != want {
+		t.Fatalf("legs = %d, want %d", len(res.Legs), want)
+	}
+	if res.Legs[0].Name != "baseline" || res.Legs[0].Failovers != 0 {
+		t.Errorf("baseline leg %+v: must run first and fail nothing over", res.Legs[0])
+	}
+	for _, l := range res.Legs[1:] {
+		if l.Failovers < 1 || l.Epoch < 2 {
+			t.Errorf("%s: failovers=%d epoch=%d, kill leg must fail over", l.Name, l.Failovers, l.Epoch)
+		}
+	}
+	for _, l := range res.Legs {
+		if !l.Agrees {
+			t.Errorf("%s: converged=%v max|dx|=%g, want agreement within 1e-6", l.Name, l.Converged, l.MaxAbsDiff)
+		}
+	}
+	if !res.Agrees() {
+		t.Error("Agrees() = false on a fully passing run")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{"failovers", "baseline", "kill hb=10ms", "drop=5%", "PASS"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+}
+
+func TestFailoverSweepRunner(t *testing.T) {
+	var sb strings.Builder
+	if err := Registry()["failover-sweep"](&sb, true); err != nil {
+		t.Fatalf("failover-sweep quick: %v", err)
+	}
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Errorf("rendered report lacks a PASS verdict:\n%s", sb.String())
+	}
+}

@@ -15,6 +15,8 @@ import (
 //	int32   fromPart
 //	int32   toPart
 //	uint64  seq
+//	uint32  epoch
+//	uint32  inc (sender incarnation)
 //	uint32  nEntries
 //	nEntries × { int32 linkID, float64 wave }   (IEEE-754 bits, little-endian)
 //	uint32  ctrlLen
@@ -26,7 +28,7 @@ import (
 // prefix cannot make the reader allocate unboundedly.
 
 const (
-	frameHeader = 1 + 4 + 4 + 4 + 8 + 4 // kind..nEntries
+	frameHeader = 1 + 4 + 4 + 4 + 8 + 4 + 4 + 4 // kind..nEntries
 	entrySize   = 4 + 8
 	maxFrame    = 16 << 20
 )
@@ -40,6 +42,8 @@ func appendPacket(buf []byte, pkt *Packet) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.FromPart))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.ToPart))
 	buf = binary.LittleEndian.AppendUint64(buf, pkt.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, pkt.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, pkt.Inc)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pkt.Entries)))
 	for _, e := range pkt.Entries {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.LinkID))
@@ -61,7 +65,9 @@ func decodePacket(payload []byte) (Packet, error) {
 	pkt.FromPart = int32(binary.LittleEndian.Uint32(payload[5:]))
 	pkt.ToPart = int32(binary.LittleEndian.Uint32(payload[9:]))
 	pkt.Seq = binary.LittleEndian.Uint64(payload[13:])
-	n := int(binary.LittleEndian.Uint32(payload[21:]))
+	pkt.Epoch = binary.LittleEndian.Uint32(payload[21:])
+	pkt.Inc = binary.LittleEndian.Uint32(payload[25:])
+	n := int(binary.LittleEndian.Uint32(payload[29:]))
 	off := frameHeader
 	if n < 0 || len(payload) < off+n*entrySize+4 {
 		return pkt, fmt.Errorf("transport: frame truncated (%d entries, %d bytes)", n, len(payload))

@@ -57,6 +57,16 @@ type Packet struct {
 	// Seq numbers the waves of the directed pair FromPart→ToPart; receivers
 	// apply last-writer-wins per pair. Zero on control packets.
 	Seq uint64
+	// Epoch is the ownership epoch the wave was announced under. Receivers
+	// fence wave packets whose epoch differs from their own — after a
+	// failover reassignment a dead worker's lingering (zombie) traffic must
+	// not corrupt the adopters' state. Zero on control packets and on
+	// single-epoch runs (the pre-failover protocol), where 0 == 0 passes.
+	Epoch uint32
+	// Inc is the sending member's incarnation number. A restarted member
+	// registers with a higher incarnation; receivers fence wave packets from
+	// an older incarnation of the same sending part.
+	Inc uint32
 	// Entries are the waves (nil for control packets).
 	Entries []WaveEntry
 	// Ctrl is the opaque control payload (nil for wave packets).
@@ -94,22 +104,51 @@ var ErrClosed = errors.New("transport: closed")
 var ErrPeerUnavailable = errors.New("transport: peer unavailable")
 
 // Dedup is the receiver half of the recovery protocol: last-writer-wins
-// deduplication of wave packets per directed part pair. It is shared by the
-// dist worker and the conformance tests so every Transport is exercised
-// against the same rule the DES engine's fault layer pins.
+// deduplication of wave packets per directed part pair, plus the failover
+// fences — a packet from a stale ownership epoch or from an overtaken
+// incarnation of its sending part is dropped and counted, never applied. It
+// is shared by the dist worker and the conformance tests so every Transport
+// is exercised against the same rule the DES engine's fault layer pins.
 type Dedup struct {
+	epoch   uint32
 	applied map[[2]int32]uint64
+	inc     map[int32]uint32
+	fenced  uint64
 }
 
-// NewDedup returns an empty deduplicator.
+// NewDedup returns an empty deduplicator at epoch 0 (the single-epoch
+// protocol: packets that carry no epoch pass the fence).
 func NewDedup() *Dedup {
-	return &Dedup{applied: make(map[[2]int32]uint64)}
+	return &Dedup{
+		applied: make(map[[2]int32]uint64),
+		inc:     make(map[int32]uint32),
+	}
 }
 
 // Fresh reports whether the wave packet carries news on its directed pair —
-// a sequence number above everything applied so far — and records it if so.
-// Duplicated and overtaken packets return false and must be discarded.
+// the current epoch, a live incarnation, and a sequence number above
+// everything applied so far — and records it if so. Duplicated, overtaken
+// and fenced packets return false and must be discarded.
 func (d *Dedup) Fresh(pkt *Packet) bool {
+	if pkt.Epoch != d.epoch {
+		// Zombie (or not-yet-reassigned straggler) traffic: the watchdog
+		// re-announces current state under the current epoch, so dropping
+		// here costs time, never correctness.
+		d.fenced++
+		return false
+	}
+	if prev := d.inc[pkt.FromPart]; pkt.Inc < prev {
+		d.fenced++
+		return false
+	} else if pkt.Inc > prev {
+		// A new life of the sending part restarts its sequence numbers.
+		d.inc[pkt.FromPart] = pkt.Inc
+		for key := range d.applied {
+			if key[0] == pkt.FromPart {
+				delete(d.applied, key)
+			}
+		}
+	}
 	key := [2]int32{pkt.FromPart, pkt.ToPart}
 	if pkt.Seq <= d.applied[key] {
 		return false
@@ -117,6 +156,23 @@ func (d *Dedup) Fresh(pkt *Packet) bool {
 	d.applied[key] = pkt.Seq
 	return true
 }
+
+// Advance moves the fence to a newer ownership epoch and clears the applied
+// frontier — the reassigned senders restart their per-pair sequence numbers
+// at 1. Moving to an older or equal epoch is a no-op.
+func (d *Dedup) Advance(epoch uint32) {
+	if epoch <= d.epoch {
+		return
+	}
+	d.epoch = epoch
+	clear(d.applied)
+}
+
+// Epoch returns the epoch the fence currently admits.
+func (d *Dedup) Epoch() uint32 { return d.epoch }
+
+// Fenced returns how many packets the epoch/incarnation fences dropped.
+func (d *Dedup) Fenced() uint64 { return d.fenced }
 
 // Applied returns the newest sequence number applied on the directed pair.
 func (d *Dedup) Applied(fromPart, toPart int32) uint64 {

@@ -325,6 +325,91 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrameEpochIncRoundTrip pins the failover wire fields: a wave's epoch
+// and incarnation survive encode→decode bit-exactly.
+func TestFrameEpochIncRoundTrip(t *testing.T) {
+	want := Packet{Kind: KindWave, From: 2, FromPart: 4, ToPart: 7, Seq: 33,
+		Epoch: 5, Inc: 3,
+		Entries: []WaveEntry{{LinkID: 11, Wave: 0.25}}}
+	buf := appendPacket(nil, &want)
+	got, err := decodePacket(buf[4:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Epoch != want.Epoch || got.Inc != want.Inc {
+		t.Fatalf("epoch/inc round trip: got (%d, %d), want (%d, %d)",
+			got.Epoch, got.Inc, want.Epoch, want.Inc)
+	}
+}
+
+// TestDedupEpochFence exercises the failover fences: stale-epoch packets are
+// dropped and counted, Advance clears the applied frontier so reassigned
+// senders can restart at seq 1, and moving backwards is a no-op.
+func TestDedupEpochFence(t *testing.T) {
+	d := NewDedup()
+	d.Advance(2)
+	if d.Epoch() != 2 {
+		t.Fatalf("Epoch = %d, want 2", d.Epoch())
+	}
+	fresh := &Packet{Kind: KindWave, FromPart: 0, ToPart: 1, Seq: 1, Epoch: 2}
+	if !d.Fresh(fresh) {
+		t.Fatal("current-epoch packet fenced")
+	}
+	stale := &Packet{Kind: KindWave, FromPart: 0, ToPart: 1, Seq: 2, Epoch: 1}
+	if d.Fresh(stale) {
+		t.Fatal("stale-epoch packet admitted")
+	}
+	future := &Packet{Kind: KindWave, FromPart: 0, ToPart: 1, Seq: 2, Epoch: 3}
+	if d.Fresh(future) {
+		t.Fatal("future-epoch packet admitted before Advance")
+	}
+	if d.Fenced() != 2 {
+		t.Fatalf("Fenced = %d, want 2", d.Fenced())
+	}
+	// Advance clears the frontier: seq 1 is fresh again under the new epoch.
+	d.Advance(3)
+	if d.Applied(0, 1) != 0 {
+		t.Fatalf("Applied survived Advance: %d", d.Applied(0, 1))
+	}
+	if !d.Fresh(&Packet{Kind: KindWave, FromPart: 0, ToPart: 1, Seq: 1, Epoch: 3}) {
+		t.Fatal("restarted seq fenced after Advance")
+	}
+	// Backwards or equal Advance is a no-op.
+	d.Advance(2)
+	if d.Epoch() != 3 {
+		t.Fatalf("Advance moved backwards to %d", d.Epoch())
+	}
+}
+
+// TestDedupIncarnationFence pins zombie fencing: packets from an overtaken
+// incarnation of a sending part are dropped and counted, and a higher
+// incarnation resets that part's applied frontier (the restarted sender
+// restarts its sequence numbers).
+func TestDedupIncarnationFence(t *testing.T) {
+	d := NewDedup()
+	mk := func(seq uint64, inc uint32) *Packet {
+		return &Packet{Kind: KindWave, FromPart: 3, ToPart: 1, Seq: seq, Inc: inc}
+	}
+	if !d.Fresh(mk(5, 1)) {
+		t.Fatal("first-life packet fenced")
+	}
+	// Restarted sender: higher inc, sequence restarts below the old frontier.
+	if !d.Fresh(mk(1, 2)) {
+		t.Fatal("restarted sender's seq 1 not admitted after inc bump")
+	}
+	// Zombie: the old life's traffic is fenced even with a huge seq.
+	if d.Fresh(mk(100, 1)) {
+		t.Fatal("zombie incarnation admitted")
+	}
+	if d.Fenced() != 1 {
+		t.Fatalf("Fenced = %d, want 1", d.Fenced())
+	}
+	// Other sending parts are unaffected by part 3's new life.
+	if !d.Fresh(&Packet{Kind: KindWave, FromPart: 4, ToPart: 1, Seq: 1, Inc: 1}) {
+		t.Fatal("unrelated part fenced")
+	}
+}
+
 type hugeFrameReader struct{}
 
 func (hugeFrameReader) Read(p []byte) (int, error) {
