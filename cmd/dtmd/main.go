@@ -12,7 +12,9 @@
 //	worker (default):
 //	    dtmd -self 1 -peers "0=host:9000,1=host:9001,2=host:9002"
 //	  listens on its own peer address and serves solve sessions until
-//	  shutdown.
+//	  shutdown. Each life registers with an incarnation number (-incarnation,
+//	  or derived from the wall clock when omitted) so a restarted process
+//	  rejoins strictly above its previous life and the zombie fences hold.
 //
 //	coordinate:
 //	    dtmd -coordinate -self 0 -peers "..." -workers 1,2 \
@@ -60,6 +62,7 @@ type options struct {
 	workers     string
 	nworkers    int
 	keepWorkers bool
+	incarnation uint
 
 	rows, cols    int
 	seed          int64
@@ -92,6 +95,7 @@ func main() {
 	flag.StringVar(&o.workers, "workers", "", `coordinator: comma-separated worker member ids (default "all peers but self")`)
 	flag.IntVar(&o.nworkers, "nworkers", 2, "selftest: number of worker processes to spawn")
 	flag.BoolVar(&o.keepWorkers, "keep-workers", false, "coordinator: leave workers running after the solve")
+	flag.UintVar(&o.incarnation, "incarnation", 0, "worker: incarnation number of this life (0 derives one from the wall clock; a restarted worker must use a strictly higher value than its previous life)")
 	flag.IntVar(&o.rows, "rows", 17, "problem spec: grid rows")
 	flag.IntVar(&o.cols, "cols", 17, "problem spec: grid cols")
 	flag.Int64Var(&o.seed, "seed", 3, "problem spec: generator seed")
@@ -162,13 +166,34 @@ func worker(o *options, tr transport.Transport) error {
 		defer wtr.Close()
 	}
 	w := dist.NewWorker(wtr)
+	w.Incarnation = workerIncarnation(o.incarnation)
 	if o.verbose {
 		w.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dtmd: "+format+"\n", args...)
 		}
 	}
-	fmt.Printf("dtmd: worker %d listening\n", tr.Self())
+	fmt.Printf("dtmd: worker %d (inc %d) listening\n", tr.Self(), w.Incarnation)
 	return w.Run(ctx)
+}
+
+// workerIncarnation resolves the incarnation this worker life registers
+// with. The failover protocol requires a restarted dtmd process to carry a
+// strictly higher incarnation than its previous life, or its beats are
+// fenced as zombie traffic. An explicit -incarnation wins (deployments with
+// a supervisor-managed restart counter); otherwise one is derived from the
+// wall clock at second granularity, which is monotonic across real process
+// restarts. Two restarts within the same second collide and degrade to the
+// same-incarnation false-expiry rejoin path — slower, never incorrect.
+func workerIncarnation(explicit uint) uint32 {
+	if explicit > 0 {
+		return uint32(explicit)
+	}
+	const epoch2025 = 1735689600 // 2025-01-01T00:00:00Z
+	s := time.Now().Unix() - epoch2025
+	if s < 1 {
+		s = 1 // a badly set clock still yields a valid (if static) incarnation
+	}
+	return uint32(s)
 }
 
 // coordinate runs one distributed solve and reports it.

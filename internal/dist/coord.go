@@ -191,6 +191,12 @@ type coordinator struct {
 	// out of worker heartbeats (only from the part's current owner at the
 	// current epoch, so a stale owner cannot overwrite fresher state).
 	snaps map[int32][]float64
+	// lastReassign is the current epoch's reassignment, retained because the
+	// broadcast is best-effort: a live worker that missed it keeps its lease
+	// renewed but reports under a stale epoch, and must be re-sent the
+	// reassign (reassignSent bounds the re-send rate per worker).
+	lastReassign *reassignMsg
+	reassignSent map[int]time.Time
 
 	// Round state: statuses collected for the in-flight poll, by worker.
 	statuses map[int]*statusMsg
@@ -301,7 +307,13 @@ func (c *coordinator) classify(from int, m *ctrlMsg, now time.Time) error {
 			c.queueRejoin(from, m.HB.Inc)
 		}
 	case msgStatus:
-		c.ms.beat(from, 0, 0, now)
+		var epoch uint32
+		if m.Status != nil {
+			// Record the epoch the status was produced under even when it is
+			// stale: the lagging-worker re-send keys off the acknowledged epoch.
+			epoch = m.Status.Epoch
+		}
+		c.ms.beat(from, 0, epoch, now)
 		if m.Status != nil && m.Status.Epoch == c.epoch && c.statuses != nil {
 			c.statuses[from] = m.Status
 		}
@@ -386,6 +398,7 @@ func (c *coordinator) pollLoop(ctx context.Context) error {
 			}
 			stable, c.pollSent = 0, false
 		}
+		c.resendLagging(ctx, now)
 		if !now.Before(nextPoll) {
 			if c.cfg.OnPoll != nil {
 				c.cfg.OnPoll(round)
@@ -532,13 +545,39 @@ func (c *coordinator) reassign(ctx context.Context, lost int, revived map[int]bo
 	}
 	sort.Slice(re.Snaps, func(i, j int) bool { return re.Snaps[i].Part < re.Snaps[j].Part })
 	// Bounded per-worker delivery: a worker that dies mid-broadcast is
-	// caught by its own lease expiry on a later pass, not by wedging here.
+	// caught by its own lease expiry on a later pass, not by wedging here. A
+	// live worker that misses its copy (a dropped datagram on a lossy fabric)
+	// is caught by resendLagging once its acknowledged epoch visibly lags.
+	c.lastReassign = re
+	if c.reassignSent == nil {
+		c.reassignSent = make(map[int]time.Time, len(alive))
+	}
 	for _, w := range alive {
 		wctx, cancel := context.WithTimeout(ctx, 2*c.cfg.lease())
 		_ = sendCtrlRetry(wctx, c.tr, w, &ctrlMsg{Type: msgReassign, Reassign: re})
 		cancel()
+		c.reassignSent[w] = time.Now()
 	}
 	return nil
+}
+
+// resendLagging re-sends the current reassignment to live workers whose
+// acknowledged epoch still lags the current one a full base lease after the
+// last attempt. Without it a worker that missed the best-effort broadcast is
+// wedged forever: its heartbeats keep the lease renewed (never declared
+// dead), but every status it reports carries the stale epoch and is
+// discarded, so no poll round ever completes.
+func (c *coordinator) resendLagging(ctx context.Context, now time.Time) {
+	if c.lastReassign == nil {
+		return
+	}
+	for _, w := range c.ms.lagging(c.epoch) {
+		if now.Sub(c.reassignSent[w]) <= c.cfg.lease() {
+			continue
+		}
+		c.reassignSent[w] = now
+		_ = sendCtrl(ctx, c.tr, w, &ctrlMsg{Type: msgReassign, Reassign: c.lastReassign})
+	}
 }
 
 // quiescent evaluates the distributed stopping rule on one poll's statuses:

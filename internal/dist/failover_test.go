@@ -25,6 +25,9 @@ type failoverOpts struct {
 	restartAtPoll int
 	disable       bool
 	stablePolls   int
+	// coordWrap, when non-nil, decorates the coordinator's transport (fault
+	// injection on the control plane).
+	coordWrap func(transport.Transport) transport.Transport
 }
 
 // runFailoverKill runs a coordinated solve and kills the last worker at poll
@@ -66,8 +69,12 @@ func runFailoverKill(t *testing.T, o failoverOpts) (*Result, error) {
 	}
 
 	victim := o.nWorkers
+	ctr := members[0]
+	if o.coordWrap != nil {
+		ctr = o.coordWrap(ctr)
+	}
 	var killOnce, restartOnce sync.Once
-	res, err := Coordinate(ctx, members[0], CoordConfig{
+	res, err := Coordinate(ctx, ctr, CoordConfig{
 		Spec: quickSpec, Workers: workers, Tol: 1e-9,
 		WatchdogMS: 20, PollInterval: 5 * time.Millisecond,
 		HeartbeatMS: 10, LeaseBeats: 4,
@@ -133,6 +140,68 @@ func TestFailoverChaosDropDupConverges(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("coordinate: %v", err)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("expected a failover, got %d", res.Failovers)
+	}
+	checkAgainstOracle(t, res, quickSpec)
+}
+
+// ctrlDropTransport swallows the first max control messages of one type sent
+// to one peer — a deterministic control-plane fault for exercising the
+// coordinator's re-send paths.
+type ctrlDropTransport struct {
+	transport.Transport
+	mu      sync.Mutex
+	to      int
+	typ     string
+	max     int
+	dropped int
+}
+
+func (d *ctrlDropTransport) Send(ctx context.Context, to int, pkt transport.Packet) error {
+	if to == d.to && pkt.Kind == transport.KindControl {
+		if m, err := decodeCtrl(&pkt); err == nil && m.Type == d.typ {
+			d.mu.Lock()
+			drop := d.dropped < d.max
+			if drop {
+				d.dropped++
+			}
+			d.mu.Unlock()
+			if drop {
+				return nil
+			}
+		}
+	}
+	return d.Transport.Send(ctx, to, pkt)
+}
+
+func (d *ctrlDropTransport) drops() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// TestReassignResentToLaggingWorker: the fenced reassign broadcast is
+// best-effort. Here surviving worker 1 deterministically misses its copy, so
+// it keeps heartbeating at the stale epoch — lease renewed, never declared
+// dead — while every status it reports is discarded. The coordinator must
+// notice the worker's acknowledged epoch lagging and re-send the current
+// reassign (regression: the run used to spin unconverged to the deadline).
+func TestReassignResentToLaggingWorker(t *testing.T) {
+	var dt *ctrlDropTransport
+	res, err := runFailoverKill(t, failoverOpts{
+		fab: chanFabric, nWorkers: 3,
+		coordWrap: func(tr transport.Transport) transport.Transport {
+			dt = &ctrlDropTransport{Transport: tr, to: 1, typ: msgReassign, max: 1}
+			return dt
+		},
+	})
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	if dt.drops() == 0 {
+		t.Fatal("fault never fired: no reassign was dropped")
 	}
 	if res.Failovers < 1 {
 		t.Fatalf("expected a failover, got %d", res.Failovers)
@@ -506,6 +575,15 @@ func TestHeartbeatLeaseMembership(t *testing.T) {
 	// every jittered lease while worker 1 keeps beating.
 	ms.beat(2, 1, 1, t0.Add(10*time.Millisecond))
 	ms.beat(1, 1, 1, t0.Add(100*time.Millisecond))
+	// Acknowledged-epoch tracking: both have only acknowledged epoch 1, so
+	// both lag epoch 2 until a beat carries the newer epoch.
+	if lag := ms.lagging(2); len(lag) != 2 {
+		t.Fatalf("lagging(2) = %v, want both workers", lag)
+	}
+	ms.beat(1, 1, 2, t0.Add(110*time.Millisecond))
+	if lag := ms.lagging(2); len(lag) != 1 || lag[0] != 2 {
+		t.Fatalf("lagging(2) after worker 1 acked = %v, want [2]", lag)
+	}
 	exp := ms.expired(t0.Add(200 * time.Millisecond))
 	if len(exp) != 1 || exp[0] != 2 {
 		t.Fatalf("want worker 2 expired, got %v", exp)

@@ -137,6 +137,23 @@ func (ms *membership) helloRejoin(id int, inc uint32, now time.Time) bool {
 	return now.Sub(m.revivedAt) > ms.leaseOf(id)
 }
 
+// lagging returns the live members whose acknowledged ownership epoch (the
+// newest epoch seen in their heartbeats/statuses) is still below epoch,
+// ascending. A lagging member missed the best-effort reassign broadcast: it
+// keeps renewing its lease — so it is never declared dead — while reporting
+// under a stale epoch that the round classifier discards, and only a re-send
+// can unwedge it.
+func (ms *membership) lagging(epoch uint32) []int {
+	var behind []int
+	for id, m := range ms.members {
+		if m.alive && m.epoch < epoch {
+			behind = append(behind, id)
+		}
+	}
+	sort.Ints(behind)
+	return behind
+}
+
 // alive returns the live member ids, ascending.
 func (ms *membership) alive() []int {
 	var live []int

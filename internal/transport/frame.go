@@ -10,6 +10,7 @@ import (
 // Wire format. Every packet travels as one length-prefixed frame:
 //
 //	uint32  payload length (little-endian, excludes the prefix itself)
+//	uint8   version (frameVersion; mismatches are rejected on decode)
 //	uint8   kind
 //	int32   from (member id)
 //	int32   fromPart
@@ -24,20 +25,29 @@ import (
 //
 // Everything is little-endian and fixed-width: the format needs no schema
 // negotiation, decodes with zero reflection, and a wave entry is exactly 12
-// bytes. maxFrame bounds a frame at 16 MiB so a corrupt or hostile length
-// prefix cannot make the reader allocate unboundedly.
+// bytes. The leading version byte is the compatibility discriminator: the
+// layout has no self-describing structure, so a peer built against a
+// different layout would silently misparse every field after the first that
+// moved — instead a mismatched fleet fails fast, on the first frame, with an
+// explicit version error. Bump frameVersion whenever the layout changes.
+// maxFrame bounds a frame at 16 MiB so a corrupt or hostile length prefix
+// cannot make the reader allocate unboundedly.
 
 const (
-	frameHeader = 1 + 4 + 4 + 4 + 8 + 4 + 4 + 4 // kind..nEntries
-	entrySize   = 4 + 8
-	maxFrame    = 16 << 20
+	// frameVersion 2: version byte introduced together with the failover
+	// fields (epoch, inc); version 1 is the implicit pre-failover layout,
+	// which had no version byte at all.
+	frameVersion = 2
+	frameHeader  = 1 + 1 + 4 + 4 + 4 + 8 + 4 + 4 + 4 // version..nEntries
+	entrySize    = 4 + 8
+	maxFrame     = 16 << 20
 )
 
 // appendPacket encodes pkt as one frame (length prefix included) onto buf.
 func appendPacket(buf []byte, pkt *Packet) []byte {
 	payload := frameHeader + len(pkt.Entries)*entrySize + 4 + len(pkt.Ctrl)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
-	buf = append(buf, byte(pkt.Kind))
+	buf = append(buf, frameVersion, byte(pkt.Kind))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.FromPart))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(pkt.ToPart))
@@ -57,17 +67,23 @@ func appendPacket(buf []byte, pkt *Packet) []byte {
 // decodePacket decodes one frame payload (length prefix already stripped).
 func decodePacket(payload []byte) (Packet, error) {
 	var pkt Packet
+	if len(payload) == 0 {
+		return pkt, fmt.Errorf("transport: empty frame")
+	}
+	if v := payload[0]; v != frameVersion {
+		return pkt, fmt.Errorf("transport: frame version %d, want %d (mixed dtmd versions on the fabric?)", v, frameVersion)
+	}
 	if len(payload) < frameHeader+4 {
 		return pkt, fmt.Errorf("transport: short frame (%d bytes)", len(payload))
 	}
-	pkt.Kind = Kind(payload[0])
-	pkt.From = int32(binary.LittleEndian.Uint32(payload[1:]))
-	pkt.FromPart = int32(binary.LittleEndian.Uint32(payload[5:]))
-	pkt.ToPart = int32(binary.LittleEndian.Uint32(payload[9:]))
-	pkt.Seq = binary.LittleEndian.Uint64(payload[13:])
-	pkt.Epoch = binary.LittleEndian.Uint32(payload[21:])
-	pkt.Inc = binary.LittleEndian.Uint32(payload[25:])
-	n := int(binary.LittleEndian.Uint32(payload[29:]))
+	pkt.Kind = Kind(payload[1])
+	pkt.From = int32(binary.LittleEndian.Uint32(payload[2:]))
+	pkt.FromPart = int32(binary.LittleEndian.Uint32(payload[6:]))
+	pkt.ToPart = int32(binary.LittleEndian.Uint32(payload[10:]))
+	pkt.Seq = binary.LittleEndian.Uint64(payload[14:])
+	pkt.Epoch = binary.LittleEndian.Uint32(payload[22:])
+	pkt.Inc = binary.LittleEndian.Uint32(payload[26:])
+	n := int(binary.LittleEndian.Uint32(payload[30:]))
 	off := frameHeader
 	if n < 0 || len(payload) < off+n*entrySize+4 {
 		return pkt, fmt.Errorf("transport: frame truncated (%d entries, %d bytes)", n, len(payload))

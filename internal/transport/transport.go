@@ -159,13 +159,19 @@ func (d *Dedup) Fresh(pkt *Packet) bool {
 
 // Advance moves the fence to a newer ownership epoch and clears the applied
 // frontier — the reassigned senders restart their per-pair sequence numbers
-// at 1. Moving to an older or equal epoch is a no-op.
+// at 1. Incarnation tracking resets with it: recorded incarnations scope to
+// the epoch that observed them, because a reassignment may hand a part from a
+// high-incarnation (restarted) worker back to a lower-incarnation survivor,
+// and carrying the old watermark across would fence the new owner's waves
+// forever. The epoch fence alone already drops every cross-epoch zombie.
+// Moving to an older or equal epoch is a no-op.
 func (d *Dedup) Advance(epoch uint32) {
 	if epoch <= d.epoch {
 		return
 	}
 	d.epoch = epoch
 	clear(d.applied)
+	clear(d.inc)
 }
 
 // Epoch returns the epoch the fence currently admits.

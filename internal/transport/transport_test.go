@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -342,6 +343,32 @@ func TestFrameEpochIncRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrameVersionMismatchRejected: the layout has no self-describing
+// structure, so a peer built against a different frame layout must fail
+// fast with an explicit version error on its first frame — not misparse
+// epoch bits as an entry count and drown in truncation errors.
+func TestFrameVersionMismatchRejected(t *testing.T) {
+	buf := appendPacket(nil, &Packet{Kind: KindWave, FromPart: 0, ToPart: 1, Seq: 1,
+		Entries: []WaveEntry{{LinkID: 2, Wave: 0.5}}})
+	if buf[4] != frameVersion {
+		t.Fatalf("encoded version byte = %d, want %d", buf[4], frameVersion)
+	}
+	payload := append([]byte(nil), buf[4:]...)
+	payload[0] = frameVersion + 1
+	if _, err := decodePacket(payload); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version frame not rejected with a version error: %v", err)
+	}
+	// A v1-era frame led with the kind byte (0 or 1) where the version now
+	// lives; it must be identified as a version mismatch, not misparsed.
+	payload[0] = 0
+	if _, err := decodePacket(payload); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("pre-version frame not rejected with a version error: %v", err)
+	}
+	if _, err := decodePacket(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
 // TestDedupEpochFence exercises the failover fences: stale-epoch packets are
 // dropped and counted, Advance clears the applied frontier so reassigned
 // senders can restart at seq 1, and moving backwards is a no-op.
@@ -407,6 +434,33 @@ func TestDedupIncarnationFence(t *testing.T) {
 	// Other sending parts are unaffected by part 3's new life.
 	if !d.Fresh(&Packet{Kind: KindWave, FromPart: 4, ToPart: 1, Seq: 1, Inc: 1}) {
 		t.Fatal("unrelated part fenced")
+	}
+}
+
+// TestDedupAdvanceResetsIncarnations pins the crash-after-rejoin sequence:
+// a part announced by a restarted worker (incarnation 2) fails over, on the
+// next epoch, to a surviving incarnation-1 worker. Advance must reset the
+// incarnation watermarks along with the applied frontier — the epoch fence
+// already drops every cross-epoch zombie — or the adopter's waves would be
+// fenced forever and the solve could never converge (regression).
+func TestDedupAdvanceResetsIncarnations(t *testing.T) {
+	d := NewDedup()
+	d.Advance(1)
+	// Epoch 1: part 3 is announced by a restarted worker at incarnation 2.
+	if !d.Fresh(&Packet{Kind: KindWave, FromPart: 3, ToPart: 1, Seq: 1, Epoch: 1, Inc: 2}) {
+		t.Fatal("restarted sender's wave fenced at epoch 1")
+	}
+	// The restarted worker dies too; part 3 fails over to an incarnation-1
+	// survivor under epoch 2.
+	d.Advance(2)
+	if !d.Fresh(&Packet{Kind: KindWave, FromPart: 3, ToPart: 1, Seq: 1, Epoch: 2, Inc: 1}) {
+		t.Fatal("adopter's lower-incarnation wave fenced after Advance")
+	}
+	// The fence still bites within the new epoch: once incarnation 1 is
+	// recorded there, an in-epoch higher incarnation resets it as usual, and
+	// cross-epoch zombies stay fenced.
+	if d.Fresh(&Packet{Kind: KindWave, FromPart: 3, ToPart: 1, Seq: 9, Epoch: 1, Inc: 2}) {
+		t.Fatal("stale-epoch zombie admitted")
 	}
 }
 
