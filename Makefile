@@ -20,7 +20,7 @@ test:
 # plus a machine-readable summary (wall time / allocations per experiment) in
 # BENCH_dtm.json.
 bench:
-	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$|BenchmarkE6ScaleSparse$$|BenchmarkE7FaultSweep$$|BenchmarkE8SolveThroughput$$|BenchmarkE9CompareDistributed$$|BenchmarkE10FailoverSweep$$' \
+	$(GO) test -bench='BenchmarkFig12$$|BenchmarkFig14$$|BenchmarkCompareAsyncJacobi$$|BenchmarkE6ScaleSparse$$|BenchmarkE7FaultSweep$$|BenchmarkE8SolveThroughput$$|BenchmarkE9CompareDistributed$$|BenchmarkE10FailoverSweep$$|BenchmarkE11SpannerFabric$$' \
 		-benchmem -benchtime=2x -run '^$$' .
 	$(GO) run ./cmd/dtmbench -benchjson BENCH_dtm.json -quick
 

@@ -113,6 +113,14 @@ func BenchmarkE9CompareDistributed(b *testing.B) { benchmarkExperiment(b, "compa
 // leg checked against the DES oracle.
 func BenchmarkE10FailoverSweep(b *testing.B) { benchmarkExperiment(b, "failover-sweep") }
 
+// BenchmarkE11SpannerFabric regenerates the spanner-fabric experiment (E11):
+// DTM on grid and Yao-spanner-Laplacian problems torn by the general
+// level-set + EVS pipeline, solved on the paper's heterogeneous mesh and on a
+// Yao geometric fabric with distance-proportional delays, every leg checked
+// against the reference solution to 1e-6 and the per-problem fabric speedup
+// and message counts reported.
+func BenchmarkE11SpannerFabric(b *testing.B) { benchmarkExperiment(b, "spanner-fabric") }
+
 // TestAllExperimentsQuick runs every registered experiment at its reduced size
 // so the whole evaluation pipeline is exercised by `go test` as well.
 func TestAllExperimentsQuick(t *testing.T) {

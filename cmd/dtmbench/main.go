@@ -157,7 +157,7 @@ func runOne(registry map[string]experiments.Runner, name string, quick bool) err
 }
 
 // benchExperiments are the hot-path figures whose cost is tracked over time.
-var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse", "fault-sweep", "solve-throughput", "compare-distributed", "failover-sweep"}
+var benchExperiments = []string{"fig12", "fig14", "compare-async-jacobi", "scale-sparse", "fault-sweep", "solve-throughput", "compare-distributed", "failover-sweep", "spanner-fabric"}
 
 // writeBenchJSON measures each hot-path experiment and writes the shared
 // benchjson schema the cmd/benchdiff regression gate consumes.

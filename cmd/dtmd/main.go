@@ -24,17 +24,29 @@
 //	  -keep-workers).
 //
 //	selftest:
-//	    dtmd -selftest -nworkers 2 [-drop 0.05] [-crash]
+//	    dtmd -selftest -nworkers 2 [-drop 0.05] [-crash] [-mm]
 //	  spawns real dtmd worker processes on loopback, coordinates a quick
 //	  problem against them, and exits 0 iff the distributed solution matches
 //	  the in-process DES oracle to 1e-6. With -crash it SIGKILLs the last
 //	  worker process mid-solve and additionally requires the coordinator to
-//	  fail the dead worker's parts over to the survivors. This is the CI
-//	  distributed smoke test.
+//	  fail the dead worker's parts over to the survivors. With -mm it writes
+//	  a MatrixMarket file, pins its content hash into an "mm:" source spec —
+//	  the coordinator ships nothing; every worker process reads the same file
+//	  and verifies the hash — and additionally requires a corrupted hash to
+//	  be refused with sparse.ErrHashMismatch. This is the CI distributed
+//	  smoke test.
+//
+// The problem is named either by the legacy grid flags (-rows/-cols/-seed,
+// torn -px by -py) or by -source, a problem-source string from the sparse
+// registry ("grid:rows=33,cols=33,seed=1", "spanner:n=100,k=6,seed=7,leak=0.05",
+// "mm:/path/sys.mtx@<fnv64 hash>", …) torn into -parts subdomains with the
+// general level-set + EVS pipeline. The machine is named by -topology
+// ("uniform", "ring", "mesh4x4", "mesh8x8", "yao:n=4,k=6,seed=1").
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -51,6 +63,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/dist"
 	"repro/internal/factor"
+	"repro/internal/sparse"
 	"repro/internal/transport"
 )
 
@@ -67,6 +80,9 @@ type options struct {
 	rows, cols    int
 	seed          int64
 	px, py        int
+	source        string
+	parts         int
+	mmtest        bool
 	topo          string
 	delay         float64
 	tol           float64
@@ -101,7 +117,11 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 3, "problem spec: generator seed")
 	flag.IntVar(&o.px, "px", 2, "problem spec: parts along x")
 	flag.IntVar(&o.py, "py", 2, "problem spec: parts along y")
-	flag.StringVar(&o.topo, "topo", "uniform", "problem spec: topology (uniform, mesh4x4, mesh8x8, ring)")
+	flag.StringVar(&o.source, "source", "", `problem spec: source string ("grid:…", "saddle:…", "spanner:…", "mm:path@hash"; overrides -rows/-cols/-seed)`)
+	flag.IntVar(&o.parts, "parts", 0, "problem spec: tear into this many parts with the general pipeline (0 keeps -px×-py)")
+	flag.BoolVar(&o.mmtest, "mm", false, "selftest: run the MatrixMarket-by-hash leg (write a file, solve it distributed, require a corrupted hash to be refused)")
+	flag.StringVar(&o.topo, "topo", "uniform", "problem spec: topology (uniform, ring, mesh4x4, mesh8x8, yao:…)")
+	flag.StringVar(&o.topo, "topology", "uniform", "alias for -topo")
 	flag.Float64Var(&o.delay, "delay", 10, "problem spec: uniform/ring link delay")
 	flag.Float64Var(&o.tol, "tol", 1e-9, "quiescence tolerance")
 	flag.StringVar(&o.localSolver, "local-solver", "", "factor backend for the local solves (empty for default)")
@@ -204,10 +224,7 @@ func coordinate(o *options, tr transport.Transport, addrs map[int]string) error 
 	if err != nil {
 		return err
 	}
-	spec := dist.ProblemSpec{
-		Rows: o.rows, Cols: o.cols, Seed: o.seed,
-		PartsX: o.px, PartsY: o.py, Topology: o.topo, Delay: o.delay,
-	}
+	spec := buildSpec(o)
 	start := time.Now()
 	res, err := dist.Coordinate(ctx, tr, dist.CoordConfig{
 		Spec: spec, Workers: workers, Tol: o.tol,
@@ -246,6 +263,22 @@ func coordinate(o *options, tr transport.Transport, addrs map[int]string) error 
 		return fmt.Errorf("did not converge within %v", o.timeout)
 	}
 	return nil
+}
+
+// buildSpec assembles the problem spec from the flags: the versioned source
+// form when -source is given, the legacy grid form otherwise.
+func buildSpec(o *options) dist.ProblemSpec {
+	spec := dist.ProblemSpec{
+		Rows: o.rows, Cols: o.cols, Seed: o.seed,
+		PartsX: o.px, PartsY: o.py, NParts: o.parts,
+		Topology: o.topo, Delay: o.delay,
+	}
+	if o.source != "" {
+		spec.V = 2
+		spec.Source = o.source
+		spec.Rows, spec.Cols, spec.Seed = 0, 0, 0
+	}
+	return spec
 }
 
 func shutdownWorkers(tr transport.Transport, workers []int) {
@@ -327,9 +360,25 @@ func selftest(o *options) error {
 	for i := range workers {
 		workers[i] = i + 1
 	}
-	spec := dist.ProblemSpec{
-		Rows: o.rows, Cols: o.cols, Seed: o.seed,
-		PartsX: o.px, PartsY: o.py, Topology: o.topo, Delay: o.delay,
+	spec := buildSpec(o)
+	var mmPath string
+	var mmHash uint64
+	if o.mmtest {
+		// MatrixMarket-by-hash leg: write the system to a real file, pin its
+		// content hash into the spec, and let every worker process load and
+		// verify it independently — the coordinator ships no matrix data.
+		mmPath, mmHash, err = writeSelftestMatrix(o)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(mmPath)
+		spec = dist.ProblemSpec{
+			V: 2, Source: sparse.MMSource{Path: mmPath, Hash: mmHash}.String(),
+			NParts: o.parts, Topology: o.topo, Delay: o.delay,
+		}
+		if spec.NParts == 0 {
+			spec.NParts = 2 * n // default tearing: two parts per worker
+		}
 	}
 	cfg := dist.CoordConfig{
 		Spec: spec, Workers: workers, Tol: o.tol,
@@ -381,12 +430,53 @@ func selftest(o *options) error {
 	if o.crash {
 		mode += "+crash"
 	}
+	if o.mmtest {
+		mode += "+mm"
+		// The other half of the hash protocol: a spec whose pinned hash does
+		// not match the file content must be refused with the typed error
+		// before any work is assigned.
+		bad := spec
+		bad.Source = sparse.MMSource{Path: mmPath, Hash: mmHash ^ 1}.String()
+		_, cerr := dist.Coordinate(ctx, tr, dist.CoordConfig{
+			Spec: bad, Workers: workers, Tol: o.tol,
+		})
+		if !errors.Is(cerr, sparse.ErrHashMismatch) {
+			return fmt.Errorf("selftest FAIL (mm): corrupted hash not refused with ErrHashMismatch (got %v)", cerr)
+		}
+	}
 	if d > 1e-6 {
 		return fmt.Errorf("selftest FAIL (%s): distributed X differs from DES oracle by %g (> 1e-6)", mode, d)
 	}
 	fmt.Printf("selftest PASS (%s): %d worker processes, %d parts, max |x_dist - x_des| = %.3e, %d solves, %d messages, %d failovers (epoch %d)\n",
 		mode, n, spec.Parts(), d, res.Solves, res.Messages, res.Failovers, res.Epoch)
 	return nil
+}
+
+// writeSelftestMatrix writes a deterministic SPD system to a temp
+// MatrixMarket file and returns its path and FNV-1a 64 content hash — the
+// two halves of an "mm:" source spec.
+func writeSelftestMatrix(o *options) (string, uint64, error) {
+	sys := sparse.RandomGridSPD(o.rows, o.cols, o.seed)
+	f, err := os.CreateTemp("", "dtmd-selftest-*.mtx")
+	if err != nil {
+		return "", 0, err
+	}
+	path := f.Name()
+	if err := sparse.WriteMatrixSym(f, sys.A); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return "", 0, err
+	}
+	hash, err := sparse.HashFileFNV64(path)
+	if err != nil {
+		os.Remove(path)
+		return "", 0, err
+	}
+	return path, hash, nil
 }
 
 func parsePeers(s string) (map[int]string, error) {

@@ -1,11 +1,15 @@
 // Command dtmgen generates sparse SPD test systems (the workloads of the
 // paper's Section 7 and a few extras) and writes them to disk in MatrixMarket
 // format, understood by internal/sparse, cmd/dtmsolve and external tools.
+// After writing it prints the file's "mm:<path>@<fnv64 hash>" source spec,
+// ready to paste into dtmsolve -source or a dtmd coordinator: every worker
+// that loads the file verifies the content hash before tearing.
 //
 // Usage examples:
 //
 //	dtmgen -gen poisson2d -nx 33 -ny 33 -matrix A.mtx -rhs b.vec
 //	dtmgen -gen random-grid -nx 65 -ny 65 -seed 4225 -matrix A4225.mtx -rhs b4225.vec
+//	dtmgen -source "spanner:n=289,k=6,seed=1,leak=0.05" -matrix spanner.mtx -rhs spanner.vec
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 func main() {
 	var (
 		gen    = flag.String("gen", "poisson2d", "generator: poisson2d, poisson3d, random, random-grid, resistor, tridiag")
+		source = flag.String("source", "", fmt.Sprintf("problem-source string (%v); overrides -gen", sparse.RegisteredSources()))
 		nx     = flag.Int("nx", 33, "grid width")
 		ny     = flag.Int("ny", 33, "grid height")
 		nz     = flag.Int("nz", 9, "grid depth (poisson3d)")
@@ -31,29 +36,49 @@ func main() {
 	flag.Parse()
 
 	var sys sparse.System
-	switch *gen {
-	case "poisson2d":
-		sys = sparse.Poisson2D(*nx, *ny, 0.05)
-	case "poisson3d":
-		sys = sparse.Poisson3D(*nx, *ny, *nz, 0.05)
-	case "random":
-		sys = sparse.RandomSPD(*n, 0.02, *seed)
-	case "random-grid":
-		sys = sparse.RandomGridSPD(*nx, *ny, *seed)
-	case "resistor":
-		sys = sparse.ResistorNetwork(*nx, *ny, *seed)
-	case "tridiag":
-		sys = sparse.Tridiagonal(*n, 2.1, -1)
-	default:
-		fmt.Fprintf(os.Stderr, "dtmgen: unknown generator %q\n", *gen)
-		os.Exit(2)
+	if *source != "" {
+		src, err := sparse.ParseSource(*source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dtmgen: %v\n", err)
+			os.Exit(2)
+		}
+		var berr error
+		sys, _, berr = src.Build()
+		if berr != nil {
+			fmt.Fprintf(os.Stderr, "dtmgen: %v\n", berr)
+			os.Exit(1)
+		}
+	} else {
+		switch *gen {
+		case "poisson2d":
+			sys = sparse.Poisson2D(*nx, *ny, 0.05)
+		case "poisson3d":
+			sys = sparse.Poisson3D(*nx, *ny, *nz, 0.05)
+		case "random":
+			sys = sparse.RandomSPD(*n, 0.02, *seed)
+		case "random-grid":
+			sys = sparse.RandomGridSPD(*nx, *ny, *seed)
+		case "resistor":
+			sys = sparse.ResistorNetwork(*nx, *ny, *seed)
+		case "tridiag":
+			sys = sparse.Tridiagonal(*n, 2.1, -1)
+		default:
+			fmt.Fprintf(os.Stderr, "dtmgen: unknown generator %q\n", *gen)
+			os.Exit(2)
+		}
 	}
 
 	if err := writeSystem(sys, *matrix, *rhs, *sym); err != nil {
 		fmt.Fprintf(os.Stderr, "dtmgen: %v\n", err)
 		os.Exit(1)
 	}
+	hash, err := sparse.HashFileFNV64(*matrix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtmgen: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("wrote %s (n=%d, nnz=%d) and %s\n", *matrix, sys.Dim(), sys.A.NNZ(), *rhs)
+	fmt.Printf("source spec: %s\n", sparse.MMSource{Path: *matrix, Hash: hash}.String())
 }
 
 func writeSystem(sys sparse.System, matrixPath, rhsPath string, symmetric bool) error {

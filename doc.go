@@ -6,7 +6,12 @@
 //
 //   - internal/sparse, internal/dense, internal/spectral — the numerical
 //     substrate (CSR matrices, MatrixMarket I/O, Cholesky/LU/eigen,
-//     definiteness certification);
+//     definiteness certification) plus the problem-source registry: one
+//     canonical spec-string grammar (sparse.ParseSource) naming every way a
+//     system enters the repo — generated grids ("grid:", "saddle:"), random
+//     geometric Yao-spanner Laplacians ("spanner:") and content-hash-pinned
+//     MatrixMarket files ("mm:<path>@<fnv64>", verified on every build and
+//     refused on mismatch with a typed error);
 //   - internal/factor — the pluggable local-factorisation subsystem: one
 //     LocalSolver interface over the registered backends dense-cholesky,
 //     dense-lu, sparse-cholesky and sparse-ldlt (up-looking factorisations
@@ -26,7 +31,10 @@
 //   - internal/graph, internal/partition — the electric graph of a symmetric
 //     system and its Electric Vertex Splitting (wire tearing);
 //   - internal/dtl, internal/topology, internal/netsim — directed transmission
-//     lines, heterogeneous machines, and the discrete-event network simulator;
+//     lines, heterogeneous machines (behind the machine registry
+//     topology.ParseTopology: uniform, ring, the paper's mesh4x4/mesh8x8,
+//     and random geometric "yao:" fabrics), and the discrete-event network
+//     simulator;
 //   - internal/chaos — the deterministic fault-injection model: a parsed
 //     fault spec (drop/duplicate/jitter probabilities, link-down and
 //     slow-link windows, crash-restart schedules) and the seeded per-link
@@ -45,7 +53,9 @@
 //     implementation with reconnect backoff, under one conformance-tested
 //     Transport interface, plus the chaos fault decorator;
 //   - internal/dist — coordinator/worker distributed DTM over a Transport:
-//     deterministic re-tearing from a ProblemSpec, sharded subdomain
+//     deterministic re-tearing from a versioned ProblemSpec (legacy grid
+//     fields or a v2 {source, nparts, topology} registry spec), sharded
+//     subdomain
 //     ownership, watchdog retransmission and the distributed stopping rule,
 //     plus worker failover: heartbeats carrying wave frontiers and boundary
 //     snapshots, jittered coordinator leases, rendezvous-hashed ownership

@@ -50,10 +50,14 @@ func lostError(worker int, owner []int, phase string) *WorkerLostError {
 	return e
 }
 
-// Hash fingerprints the spec (FNV-1a over its canonical fields). It seeds
-// the rendezvous ownership derivation and the per-worker lease jitter, so
-// two runs of the same spec fail over identically.
-func (s *ProblemSpec) Hash() uint64 {
+// Hash fingerprints the spec: FNV-1a over its canonical source and topology
+// strings plus the tearing shape, so two spellings of the same problem hash
+// identically. It seeds the rendezvous ownership derivation and the
+// per-worker lease jitter, so two runs of the same spec fail over
+// identically. (A spec too malformed to canonicalise folds its raw source
+// string instead — still deterministic across members, which is all the
+// failover machinery needs.)
+func (s *SpecV2) Hash() uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		for i := 0; i < 8; i++ {
@@ -61,16 +65,23 @@ func (s *ProblemSpec) Hash() uint64 {
 			h *= 1099511628211
 		}
 	}
-	mix(uint64(s.Rows))
-	mix(uint64(s.Cols))
-	mix(uint64(s.Seed))
+	mixString := func(str string) {
+		for _, c := range []byte(str) {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+		h *= 1099511628211 // terminator: "ab"+"c" and "a"+"bc" differ
+	}
+	src, err := s.SourceString()
+	if err != nil {
+		src = s.Source
+	}
+	mixString(src)
+	mixString(s.TopologyString())
+	mix(uint64(s.NParts))
 	mix(uint64(s.PartsX))
 	mix(uint64(s.PartsY))
-	for _, c := range []byte(s.Topology) {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	mix(uint64(int64(s.Delay * 1e6)))
+	mix(uint64(int64(s.delayOrDefault() * 1e6)))
 	return h
 }
 

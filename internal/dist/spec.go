@@ -11,7 +11,7 @@
 // broken connections cost time, never correctness (Theorem 6.1
 // self-stabilisation). And because the tearing is deterministic —
 // partitioning, impedance assignment and local factorisation depend only on
-// the ProblemSpec — workers do not ship matrices: every member re-tears the
+// the SpecV2 — workers do not ship matrices: every member re-tears the
 // same problem locally and builds exactly the subdomains the in-process
 // engines would, so the wire carries only waves and small control messages.
 //
@@ -23,6 +23,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -30,65 +31,149 @@ import (
 	"repro/internal/topology"
 )
 
-// ProblemSpec names a deterministically reproducible torn problem: every
-// member builds the same system, partition, impedances and factorisations
-// from it, so assigning work requires no bulk data transfer.
-type ProblemSpec struct {
+// SpecV2 names a deterministically reproducible torn problem: every member
+// builds the same system, partition, impedances and factorisations from it,
+// so assigning work requires no bulk data transfer.
+//
+// Two forms share the one wire shape. The versioned form (V = 2) carries a
+// problem-source string from the sparse registry ("grid:…", "saddle:…",
+// "spanner:…", "mm:path@fnv64hash") plus a topology string from the
+// topology registry ("uniform", "ring", "mesh4x4", "mesh8x8", "yao:…") and
+// a part count; irregular sources are torn with the general level-set + EVS
+// pipeline (core.AutoProblem). The legacy form (V = 0, Source empty) is the
+// pre-registry grid spec — Rows/Cols/Seed plus PartsX×PartsY — kept so old
+// assign messages decode unchanged; it canonicalises to the equivalent
+// "grid:" source and still tears through core.GridProblem, byte-identically
+// to earlier releases (pinned by the compat test). An mm: source whose file
+// content does not hash to the pinned value is refused at assign time with
+// sparse.ErrHashMismatch: the member would have torn a different system
+// than the rest of the fleet.
+type SpecV2 struct {
+	// V is the spec version: 0 is the legacy grid form, 2 the source form.
+	V int `json:"v,omitempty"`
+	// Source is the canonical problem-source string (sparse.ParseSource).
+	// Empty selects the legacy grid form below.
+	Source string `json:"source,omitempty"`
+	// NParts, when positive, tears the source into this many subdomains with
+	// the general pipeline. Zero defers to PartsX×PartsY (and, for grid
+	// sources, to the paper's regular block tearing).
+	NParts int `json:"nparts,omitempty"`
+
 	// Rows, Cols are the grid dimensions of the generated SPD system
-	// (sparse.RandomGridSPD).
+	// (sparse.RandomGridSPD) in the legacy form.
 	Rows, Cols int
-	// Seed seeds the generator.
+	// Seed seeds the legacy generator.
 	Seed int64
 	// PartsX, PartsY tear the grid into PartsX·PartsY subdomains.
 	PartsX, PartsY int
-	// Topology names the machine: "uniform" (default), "mesh4x4", "mesh8x8",
-	// or "ring". The topology must have at least PartsX·PartsY processors.
+	// Topology names the machine, resolved through the topology registry:
+	// "uniform" (default), "ring", "mesh4x4", "mesh8x8", or a parameterised
+	// spec such as "yao:n=4,k=6,seed=1". The topology must have at least
+	// Parts() processors.
 	Topology string
-	// Delay is the link delay of the "uniform" and "ring" topologies
-	// (default 10 time units).
+	// Delay is the default link delay handed to sized topologies (uniform,
+	// ring, yao); default 10 time units.
 	Delay float64
 }
 
+// ProblemSpec is the pre-registry name of SpecV2, kept for the callers (and
+// wire peers) that predate the problem-source layer.
+type ProblemSpec = SpecV2
+
 // Parts returns the number of subdomains the spec tears into.
-func (s *ProblemSpec) Parts() int { return s.PartsX * s.PartsY }
+func (s *SpecV2) Parts() int {
+	if s.NParts > 0 {
+		return s.NParts
+	}
+	return s.PartsX * s.PartsY
+}
+
+// SourceString returns the canonical problem-source string of the spec: the
+// validated, round-tripped Source for the versioned form, or the "grid:"
+// equivalent of the legacy fields. Hash folds it, so two specs describing
+// the same system in different spellings hash identically.
+func (s *SpecV2) SourceString() (string, error) {
+	if s.Source != "" {
+		src, err := sparse.ParseSource(s.Source)
+		if err != nil {
+			return "", err
+		}
+		return src.String(), nil
+	}
+	if s.Rows < 1 || s.Cols < 1 {
+		return "", fmt.Errorf("dist: invalid problem spec %+v", *s)
+	}
+	return sparse.GridSource{Rows: s.Rows, Cols: s.Cols, Seed: s.Seed}.String(), nil
+}
+
+// TopologyString returns the spec's topology string with the default applied.
+func (s *SpecV2) TopologyString() string {
+	if s.Topology == "" {
+		return "uniform"
+	}
+	return s.Topology
+}
+
+// delayOrDefault returns the spec's default link delay.
+func (s *SpecV2) delayOrDefault() float64 {
+	if s.Delay <= 0 {
+		return 10
+	}
+	return s.Delay
+}
 
 // Build tears the problem. Deterministic: every call, in every process,
-// yields the same system, partition and link numbering.
-func (s *ProblemSpec) Build() (*core.Problem, error) {
-	if s.Rows <= 0 || s.Cols <= 0 || s.PartsX <= 0 || s.PartsY <= 0 {
-		return nil, fmt.Errorf("dist: invalid problem spec %+v", *s)
+// yields the same system, partition and link numbering. Grid-shaped sources
+// torn PartsX×PartsY keep the paper's regular block partitioning (and the
+// legacy byte-identical path); everything else — irregular sources, or an
+// explicit NParts — goes through the general level-set + EVS pipeline.
+func (s *SpecV2) Build() (*core.Problem, error) {
+	var (
+		sys  sparse.System
+		hint sparse.Hint
+	)
+	if s.Source != "" {
+		src, err := sparse.ParseSource(s.Source)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		sys, hint, err = src.Build()
+		if err != nil {
+			return nil, fmt.Errorf("dist: building source %q: %w", s.Source, err)
+		}
+	} else {
+		if s.Rows <= 0 || s.Cols <= 0 || s.PartsX <= 0 || s.PartsY <= 0 {
+			return nil, fmt.Errorf("dist: invalid problem spec %+v", *s)
+		}
+		sys = sparse.RandomGridSPD(s.Rows, s.Cols, s.Seed)
+		hint = sparse.Hint{Grid: true, NX: s.Rows, NY: s.Cols}
 	}
-	sys := sparse.RandomGridSPD(s.Rows, s.Cols, s.Seed)
 	n := s.Parts()
-	delay := s.Delay
-	if delay <= 0 {
-		delay = 10
+	if n < 1 {
+		return nil, fmt.Errorf("dist: spec tears into %d parts (set nparts or partsX/partsY): %+v", n, *s)
 	}
-	var topo *topology.Topology
-	switch s.Topology {
-	case "", "uniform":
-		topo = topology.Uniform(n, delay, "uniform")
-	case "mesh4x4":
-		topo = topology.Mesh4x4Paper()
-	case "mesh8x8":
-		topo = topology.Mesh8x8Paper()
-	case "ring":
-		topo = topology.Ring(n, delay)
-	default:
-		return nil, fmt.Errorf("dist: unknown topology %q", s.Topology)
+	topo, err := topology.ParseTopology(s.Topology, n, s.delayOrDefault())
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
 	}
 	if topo.N() < n {
-		return nil, fmt.Errorf("dist: topology %s has %d processors, spec needs %d", s.Topology, topo.N(), n)
+		return nil, fmt.Errorf("dist: topology %s has %d processors, spec needs %d", topo.Name(), topo.N(), n)
 	}
-	return core.GridProblem(sys, s.Rows, s.Cols, s.PartsX, s.PartsY, topo)
+	if hint.Grid && s.NParts == 0 && s.PartsX > 0 && s.PartsY > 0 {
+		return core.GridProblem(sys, hint.NX, hint.NY, s.PartsX, s.PartsY, topo)
+	}
+	return core.AutoProblem(sys, n, topo)
 }
 
 // Oracle solves the spec's problem on the in-process DES engine — the
 // deterministic reference a distributed run is compared against.
-func (s *ProblemSpec) Oracle(tol float64, localSolver string) (*core.Result, error) {
+func (s *SpecV2) Oracle(tol float64, localSolver string) (*core.Result, error) {
 	p, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
-	return core.SolveDTM(p, core.Options{MaxTime: 1e9, Tol: tol, LocalSolver: localSolver})
+	return core.Solve(context.Background(), p, core.Config{
+		CommonOptions: core.CommonOptions{Tol: tol, LocalSolver: localSolver},
+		MaxTime:       1e9,
+	})
 }

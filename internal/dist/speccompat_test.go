@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/topology"
+)
+
+// legacySpecJSON is raw wire bytes from a pre-registry coordinator, pinned
+// verbatim: a SpecV2 peer must decode them into the legacy grid form.
+const legacySpecJSON = `{"Rows":12,"Cols":12,"Seed":7,"PartsX":2,"PartsY":2,"Topology":"","Delay":10}`
+
+func TestLegacySpecJSONDecodes(t *testing.T) {
+	var s SpecV2
+	if err := json.Unmarshal([]byte(legacySpecJSON), &s); err != nil {
+		t.Fatalf("legacy spec JSON no longer decodes: %v", err)
+	}
+	if s.V != 0 || s.Source != "" || s.NParts != 0 {
+		t.Fatalf("legacy JSON populated versioned fields: %+v", s)
+	}
+	if s.Rows != 12 || s.Cols != 12 || s.Seed != 7 || s.PartsX != 2 || s.PartsY != 2 {
+		t.Fatalf("legacy fields decoded wrong: %+v", s)
+	}
+	// And a legacy-form spec must marshal without leaking the new fields,
+	// so old peers can decode what new coordinators send.
+	out, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"v", "source", "nparts"} {
+		if _, ok := m[k]; ok {
+			t.Fatalf("legacy-form spec marshals new field %q: %s", k, out)
+		}
+	}
+}
+
+// TestLegacySpecBuildByteIdentical pins the compat guarantee: a legacy grid
+// spec tears exactly as the pre-registry pipeline did — same assignment,
+// same subdomain port layout, same twin-link numbering.
+func TestLegacySpecBuildByteIdentical(t *testing.T) {
+	var s SpecV2
+	if err := json.Unmarshal([]byte(legacySpecJSON), &s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := sparse.RandomGridSPD(12, 12, 7)
+	want, err := core.GridProblem(sys, 12, 12, 2, 2, topology.Uniform(4, 10, "uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, wp := got.Partition, want.Partition
+	if len(gp.Assign.Assign) != len(wp.Assign.Assign) {
+		t.Fatalf("assignment lengths differ: %d vs %d", len(gp.Assign.Assign), len(wp.Assign.Assign))
+	}
+	for i := range wp.Assign.Assign {
+		if gp.Assign.Assign[i] != wp.Assign.Assign[i] {
+			t.Fatalf("vertex %d assigned to part %d, legacy pipeline had %d", i, gp.Assign.Assign[i], wp.Assign.Assign[i])
+		}
+	}
+	if len(gp.Subdomains) != len(wp.Subdomains) {
+		t.Fatalf("%d subdomains, legacy pipeline had %d", len(gp.Subdomains), len(wp.Subdomains))
+	}
+	for p, ws := range wp.Subdomains {
+		gs := gp.Subdomains[p]
+		if gs.NumPorts != ws.NumPorts || len(gs.GlobalIdx) != len(ws.GlobalIdx) {
+			t.Fatalf("part %d shape differs: %d ports/%d idx vs %d/%d",
+				p, gs.NumPorts, len(gs.GlobalIdx), ws.NumPorts, len(ws.GlobalIdx))
+		}
+		for i := range ws.GlobalIdx {
+			if gs.GlobalIdx[i] != ws.GlobalIdx[i] {
+				t.Fatalf("part %d GlobalIdx[%d] = %d, legacy had %d", p, i, gs.GlobalIdx[i], ws.GlobalIdx[i])
+			}
+		}
+	}
+	if len(gp.Links) != len(wp.Links) {
+		t.Fatalf("%d twin links, legacy pipeline had %d", len(gp.Links), len(wp.Links))
+	}
+	for i, wl := range wp.Links {
+		if gp.Links[i] != wl {
+			t.Fatalf("twin link %d = %+v, legacy had %+v", i, gp.Links[i], wl)
+		}
+	}
+}
+
+// TestSpecHashSpellingInvariant: the hash folds canonical strings, so the
+// legacy spelling and the explicit grid: source spelling of the same problem
+// hash identically — failover rendezvous does not depend on which form the
+// coordinator happened to send.
+func TestSpecHashSpellingInvariant(t *testing.T) {
+	legacy := SpecV2{Rows: 12, Cols: 12, Seed: 7, PartsX: 2, PartsY: 2}
+	v2 := SpecV2{V: 2, Source: "grid:rows=12,cols=12,seed=7", PartsX: 2, PartsY: 2}
+	if legacy.Hash() != v2.Hash() {
+		t.Fatalf("legacy and grid: spellings hash differently: %016x vs %016x", legacy.Hash(), v2.Hash())
+	}
+	sloppy := SpecV2{V: 2, Source: "grid: seed=7 , cols=12 ,rows=12", PartsX: 2, PartsY: 2}
+	if sloppy.Hash() != v2.Hash() {
+		t.Fatalf("non-canonical spelling hashes differently: %016x vs %016x", sloppy.Hash(), v2.Hash())
+	}
+	other := SpecV2{V: 2, Source: "grid:rows=12,cols=12,seed=8", PartsX: 2, PartsY: 2}
+	if other.Hash() == v2.Hash() {
+		t.Fatal("different seeds hash identically")
+	}
+}
+
+// TestV2GridSourceTearsLikeLegacy: the grid: source with PartsX×PartsY (and
+// no NParts) keeps the paper's regular block tearing.
+func TestV2GridSourceTearsLikeLegacy(t *testing.T) {
+	legacy := SpecV2{Rows: 12, Cols: 12, Seed: 7, PartsX: 2, PartsY: 2}
+	v2 := SpecV2{V: 2, Source: "grid:rows=12,cols=12,seed=7", PartsX: 2, PartsY: 2}
+	lp, err := legacy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := v2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lp.Partition.Assign.Assign {
+		if lp.Partition.Assign.Assign[i] != vp.Partition.Assign.Assign[i] {
+			t.Fatalf("vertex %d torn differently by the two spellings", i)
+		}
+	}
+	if len(lp.Partition.Links) != len(vp.Partition.Links) {
+		t.Fatal("twin-link sets differ between the two spellings")
+	}
+}
+
+// TestSpannerSpecAutoTearing: an irregular source with an explicit part
+// count goes through the general pipeline and yields exactly NParts parts.
+func TestSpannerSpecAutoTearing(t *testing.T) {
+	s := SpecV2{V: 2, Source: "spanner:n=64,k=5,seed=9,leak=0.05", NParts: 4}
+	p, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Partition.NumParts(); got != 4 {
+		t.Fatalf("torn into %d parts, want 4", got)
+	}
+	if p.System.Dim() != 64 {
+		t.Fatalf("system dim %d, want 64", p.System.Dim())
+	}
+	if p.Topology.N() < 4 {
+		t.Fatalf("topology has %d processors, need >= 4", p.Topology.N())
+	}
+}
+
+// TestMMSpecHashMismatchRefused: a worker (or coordinator) whose mm: file
+// does not hash to the pinned value must refuse the assignment with the
+// typed sparse error, surfaced through both Build and Coordinate.
+func TestMMSpecHashMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.mtx")
+	sys := sparse.RandomGridSPD(6, 6, 2)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixSym(f, sys.A); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, err := sparse.HashFileFNV64(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := SpecV2{V: 2, Source: sparse.MMSource{Path: path, Hash: h}.String(), NParts: 2}
+	if _, err := good.Build(); err != nil {
+		t.Fatalf("matching hash refused: %v", err)
+	}
+
+	bad := SpecV2{V: 2, Source: sparse.MMSource{Path: path, Hash: h ^ 1}.String(), NParts: 2}
+	if _, err := bad.Build(); !errors.Is(err, sparse.ErrHashMismatch) {
+		t.Fatalf("Build err = %v, want ErrHashMismatch", err)
+	}
+	var mismatch *sparse.HashMismatchError
+	if _, err := bad.Build(); !errors.As(err, &mismatch) {
+		t.Fatalf("Build err = %v, want *HashMismatchError", err)
+	}
+
+	// Coordinate builds the spec before touching the transport, so the
+	// refusal is a coordinator-side fast-fail with the same typed error.
+	_, err = Coordinate(context.Background(), nil, CoordConfig{
+		Spec: bad, Workers: []int{1, 2}, Tol: 1e-6,
+	})
+	if !errors.Is(err, sparse.ErrHashMismatch) {
+		t.Fatalf("Coordinate err = %v, want ErrHashMismatch", err)
+	}
+}

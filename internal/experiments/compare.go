@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -183,11 +184,13 @@ func CompareDTMvsVTM(p CompareParams) (*CompareResult, error) {
 		Target: p.TargetError,
 	}
 
-	dtmRes, err := core.SolveDTM(shared.prob, core.Options{
-		MaxTime:     p.MaxTime,
-		Exact:       shared.exact,
-		StopOnError: p.TargetError,
-		RecordTrace: true,
+	dtmRes, err := core.Solve(context.Background(), shared.prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       shared.exact,
+			StopOnError: p.TargetError,
+			RecordTrace: true,
+		},
+		MaxTime: p.MaxTime,
 	})
 	if err != nil {
 		return nil, err
@@ -201,11 +204,14 @@ func CompareDTMvsVTM(p CompareParams) (*CompareResult, error) {
 		Converged:    dtmRes.Converged,
 	})
 
-	vtmRes, err := core.SolveVTM(shared.prob, core.VTMOptions{
+	vtmRes, err := core.Solve(context.Background(), shared.prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       shared.exact,
+			StopOnError: p.TargetError,
+			RecordTrace: true,
+		},
+		Engine:        core.EngineVTM,
 		MaxIterations: p.VTMMaxIterations,
-		Exact:         shared.exact,
-		StopOnError:   p.TargetError,
-		RecordTrace:   true,
 	})
 	if err != nil {
 		return nil, err
@@ -253,11 +259,13 @@ func CompareAsyncJacobi(p CompareParams) (*CompareResult, error) {
 		Target: p.TargetError,
 	}
 
-	dtmRes, err := core.SolveDTM(shared.prob, core.Options{
-		MaxTime:     p.MaxTime,
-		Exact:       shared.exact,
-		StopOnError: p.TargetError,
-		RecordTrace: true,
+	dtmRes, err := core.Solve(context.Background(), shared.prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       shared.exact,
+			StopOnError: p.TargetError,
+			RecordTrace: true,
+		},
+		MaxTime: p.MaxTime,
 	})
 	if err != nil {
 		return nil, err
@@ -353,12 +361,14 @@ func AblationImpedance(p CompareParams) (*CompareResult, error) {
 		dtl.DiagScaled{Alpha: 2},
 	}
 	for _, s := range strategies {
-		res, err := core.SolveDTM(shared.prob, core.Options{
-			Impedance:   s,
-			MaxTime:     p.MaxTime,
-			Exact:       shared.exact,
-			StopOnError: p.TargetError,
-			RecordTrace: true,
+		res, err := core.Solve(context.Background(), shared.prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Impedance:   s,
+				Exact:       shared.exact,
+				StopOnError: p.TargetError,
+				RecordTrace: true,
+			},
+			MaxTime: p.MaxTime,
 		})
 		if err != nil {
 			return nil, err
@@ -412,11 +422,13 @@ func AblationDelays(p CompareParams) (*CompareResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveDTM(prob, core.Options{
-			MaxTime:     p.MaxTime,
-			Exact:       exact,
-			StopOnError: p.TargetError,
-			RecordTrace: true,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Exact:       exact,
+				StopOnError: p.TargetError,
+				RecordTrace: true,
+			},
+			MaxTime: p.MaxTime,
 		})
 		if err != nil {
 			return nil, err
@@ -473,11 +485,13 @@ func AblationMixedSync(p CompareParams) (*CompareResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveDTM(prob, core.Options{
-			MaxTime:     p.MaxTime,
-			Exact:       exact,
-			StopOnError: p.TargetError,
-			RecordTrace: true,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Exact:       exact,
+				StopOnError: p.TargetError,
+				RecordTrace: true,
+			},
+			MaxTime: p.MaxTime,
 		})
 		if err != nil {
 			return nil, err
@@ -500,13 +514,16 @@ func AblationMixedSync(p CompareParams) (*CompareResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mixed, err := core.SolveMixed(prob, core.MixedOptions{
+	mixed, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Exact:       exact,
+			StopOnError: p.TargetError,
+			RecordTrace: true,
+		},
+		Engine:      core.EngineMixed,
 		MaxTime:     p.MaxTime,
 		AsyncWindow: 400,
 		SyncSweeps:  1,
-		Exact:       exact,
-		StopOnError: p.TargetError,
-		RecordTrace: true,
 	})
 	if err != nil {
 		return nil, err

@@ -210,6 +210,23 @@ func Registry() map[string]Runner {
 			}
 			return nil
 		},
+		"spanner-fabric": func(w io.Writer, quick bool) error {
+			p := DefaultSpannerFabricParams()
+			if quick {
+				p = QuickSpannerFabricParams()
+			}
+			r, err := SpannerFabric(p)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+			if !r.Agrees() {
+				return fmt.Errorf("experiments: E11 disagreement (see table)")
+			}
+			return nil
+		},
 		"compare-distributed": func(w io.Writer, quick bool) error {
 			p := DefaultCompareDistributedParams()
 			if quick {
@@ -237,6 +254,6 @@ func Names() []string {
 		"compare-vtm", "compare-async-jacobi",
 		"ablation-impedance", "ablation-delays", "ablation-mixed",
 		"scale-sparse", "fault-sweep", "solve-throughput",
-		"compare-distributed", "failover-sweep",
+		"compare-distributed", "failover-sweep", "spanner-fabric",
 	}
 }

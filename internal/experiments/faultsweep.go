@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -140,11 +141,13 @@ func FaultSweep(p FaultSweepParams) (*FaultSweepResult, error) {
 		return nil, err
 	}
 	run := func(spec *chaos.Spec) (*core.Result, error) {
-		return core.SolveDTM(prob, core.Options{
-			MaxTime:       p.MaxTime,
-			Tol:           p.Tol,
-			SendThreshold: p.Tol / 100,
-			Faults:        spec,
+		return core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Tol:           p.Tol,
+				SendThreshold: p.Tol / 100,
+				Faults:        spec,
+			},
+			MaxTime: p.MaxTime,
 		})
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -150,11 +151,13 @@ func RunMesh(p MeshRunParams) (*MeshRunResult, error) {
 			return nil, err
 		}
 		report := core.CheckTheorem(prob, 1e-8, 400)
-		res, err := core.SolveDTM(prob, core.Options{
-			MaxTime:     p.MaxTime,
-			Exact:       exact,
-			StopOnError: p.StopOnError,
-			RecordTrace: true,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Exact:       exact,
+				StopOnError: p.StopOnError,
+				RecordTrace: true,
+			},
+			MaxTime: p.MaxTime,
 		})
 		if err != nil {
 			return nil, err

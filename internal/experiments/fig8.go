@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -118,12 +119,14 @@ func Fig8(p Fig8Params) (*Fig8Result, error) {
 			out.Potentials[3].Append(now, local[1])
 		}
 	}
-	res, err := core.SolveDTM(prob, core.Options{
-		Impedance:   strategy,
-		MaxTime:     p.MaxTime,
-		Exact:       exact,
-		RecordTrace: true,
-		Observer:    observer,
+	res, err := core.Solve(context.Background(), prob, core.Config{
+		CommonOptions: core.CommonOptions{
+			Impedance:   strategy,
+			Exact:       exact,
+			RecordTrace: true,
+		},
+		MaxTime:  p.MaxTime,
+		Observer: observer,
 	})
 	if err != nil {
 		return nil, err

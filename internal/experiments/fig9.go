@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -57,11 +58,13 @@ func Fig9(p Fig9Params) (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveDTM(prob, core.Options{
-			Impedance:   dtl.Constant{Z: z},
-			MaxTime:     p.SampleTime,
-			Exact:       exact,
-			RecordTrace: true,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{
+				Impedance:   dtl.Constant{Z: z},
+				Exact:       exact,
+				RecordTrace: true,
+			},
+			MaxTime: p.SampleTime,
 		})
 		if err != nil {
 			return nil, err

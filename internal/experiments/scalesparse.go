@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -302,10 +303,9 @@ func ScaleSparse(p ScaleSparseParams) (*ScaleSparseResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveDTM(prob, core.Options{
-			MaxTime:     p.DTMMaxTime,
-			Tol:         p.DTMTol,
-			LocalSolver: factor.SparseSupernodal,
+		res, err := core.Solve(context.Background(), prob, core.Config{
+			CommonOptions: core.CommonOptions{Tol: p.DTMTol, LocalSolver: factor.SparseSupernodal},
+			MaxTime:       p.DTMMaxTime,
 		})
 		if err != nil {
 			return nil, err

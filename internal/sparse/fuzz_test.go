@@ -61,6 +61,42 @@ func FuzzReadMatrix(f *testing.F) {
 	})
 }
 
+// FuzzParseSource drives the problem-source grammar with arbitrary input.
+// Rejection with an error is fine; panics are not, and anything accepted must
+// canonicalise to a fixed point — ParseSource(src.String()) re-parses to the
+// same string — because the canonical form is what the wire and the spec hash
+// carry. Build() is deliberately not called: specs like grid:rows=65535 are
+// grammatically valid but enormous.
+func FuzzParseSource(f *testing.F) {
+	f.Add("grid:rows=17,cols=17,seed=1")
+	f.Add("grid:")
+	f.Add("saddle:nx=8,ny=4,gamma=0.01")
+	f.Add("spanner:n=100,k=6,seed=7,leak=0.05")
+	f.Add("mm:/tmp/a.mtx@00000000deadbeef")
+	f.Add("mm:a@b")
+	f.Add("grid:rows=0")
+	f.Add("nosuch:x=1")
+	f.Add("grid:rows=,")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		src, err := ParseSource(data)
+		if err != nil {
+			return
+		}
+		canon := src.String()
+		again, err := ParseSource(canon)
+		if err != nil {
+			t.Fatalf("accepted %q but canonical %q does not re-parse: %v", data, canon, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form of %q is not a fixed point: %q -> %q", data, canon, again.String())
+		}
+		if src.Name() == "" {
+			t.Fatalf("accepted source %q has an empty name", data)
+		}
+	})
+}
+
 // FuzzReadVec drives the vector reader (array and n×1 coordinate files) with
 // arbitrary input: errors are fine, panics and inconsistent vectors are not.
 func FuzzReadVec(f *testing.F) {

@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the machine-topology registry: the named, string-addressable
+// counterpart of the problem-source registry in internal/sparse. A topology
+// spec is either a bare registered name ("uniform", "ring", "mesh4x4",
+// "mesh8x8") or a parameterised form "scheme:key=value,key=value,..."
+// ("yao:n=4,k=6,seed=1"). dist.SpecV2 carries the spec string on the wire
+// and every fleet member resolves it through the same registry, so the
+// machine a problem is torn for is as reproducible as the problem itself.
+
+// BuildFunc builds a topology from the parameter part of a spec string
+// (empty for bare names). n is the number of processors the caller needs —
+// fabrics without an intrinsic size (uniform, ring) are sized to it — and
+// delay is the caller's default link delay for fabrics that take one.
+type BuildFunc func(params string, n int, delay float64) (*Topology, error)
+
+var topoRegistry = map[string]BuildFunc{}
+
+// RegisterTopology adds a named topology builder to the registry. It panics
+// on a duplicate name (registration is an init-time affair).
+func RegisterTopology(name string, build BuildFunc) {
+	if _, dup := topoRegistry[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate registration of %q", name))
+	}
+	topoRegistry[name] = build
+}
+
+// RegisteredTopologies returns the registered spec scheme names, sorted.
+func RegisteredTopologies() []string {
+	names := make([]string, 0, len(topoRegistry))
+	for name := range topoRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseTopology resolves a topology spec string into a machine. The empty
+// string means "uniform". n and delay are the caller's processor count and
+// default link delay (see BuildFunc).
+func ParseTopology(spec string, n int, delay float64) (*Topology, error) {
+	scheme, params, _ := strings.Cut(spec, ":")
+	scheme = strings.TrimSpace(scheme)
+	if scheme == "" {
+		scheme = "uniform"
+	}
+	build, ok := topoRegistry[scheme]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown topology %q (have %s)",
+			spec, strings.Join(RegisteredTopologies(), ", "))
+	}
+	t, err := build(strings.TrimSpace(params), n, delay)
+	if err != nil {
+		return nil, fmt.Errorf("topology: spec %q: %w", spec, err)
+	}
+	return t, nil
+}
+
+// parseKVInt64 parses a "key=value,key=value" parameter list whose values
+// are integers, rejecting unknown keys. Missing keys keep their defaults.
+func parseKVInt64(params string, fields map[string]*int64) error {
+	if params == "" {
+		return nil
+	}
+	for _, item := range strings.Split(params, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("parameter %q is not key=value", item)
+		}
+		dst, known := fields[strings.TrimSpace(key)]
+		if !known {
+			keys := make([]string, 0, len(fields))
+			for k := range fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("unknown parameter %q (have %s)", key, strings.Join(keys, ", "))
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %q: %w", item, err)
+		}
+		*dst = v
+	}
+	return nil
+}
+
+func noParams(scheme, params string) error {
+	if params != "" {
+		return fmt.Errorf("%s takes no parameters, got %q", scheme, params)
+	}
+	return nil
+}
+
+func init() {
+	RegisterTopology("uniform", func(params string, n int, delay float64) (*Topology, error) {
+		if err := noParams("uniform", params); err != nil {
+			return nil, err
+		}
+		return Uniform(n, delay, "uniform"), nil
+	})
+	RegisterTopology("ring", func(params string, n int, delay float64) (*Topology, error) {
+		if err := noParams("ring", params); err != nil {
+			return nil, err
+		}
+		return Ring(n, delay), nil
+	})
+	RegisterTopology("mesh4x4", func(params string, n int, delay float64) (*Topology, error) {
+		if err := noParams("mesh4x4", params); err != nil {
+			return nil, err
+		}
+		return Mesh4x4Paper(), nil
+	})
+	RegisterTopology("mesh8x8", func(params string, n int, delay float64) (*Topology, error) {
+		if err := noParams("mesh8x8", params); err != nil {
+			return nil, err
+		}
+		return Mesh8x8Paper(), nil
+	})
+	RegisterTopology("yao", func(params string, n int, delay float64) (*Topology, error) {
+		size, k, seed := int64(n), int64(6), int64(1)
+		err := parseKVInt64(params, map[string]*int64{"n": &size, "k": &k, "seed": &seed})
+		if err != nil {
+			return nil, err
+		}
+		if size < 1 || int64(int(size)) != size {
+			return nil, fmt.Errorf("yao needs n >= 1 processors, got %d", size)
+		}
+		if k < 1 || k > 64 {
+			return nil, fmt.Errorf("yao needs 1 <= k <= 64 cones, got %d", k)
+		}
+		return YaoMesh(int(size), int(k), seed, delay), nil
+	})
+}

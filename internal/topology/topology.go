@@ -194,6 +194,14 @@ func (t *Topology) Stats() DelayStats {
 // directed link — the simplest platform, used by unit tests and by the VTM
 // comparison (equal unit delays make DTM degenerate into VTM).
 func Uniform(n int, delay float64, name string) *Topology {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: Uniform needs n >= 1 processors, got %d", n))
+	}
+	if delay <= 0 || math.IsNaN(delay) {
+		// Checked up front: a 1-processor machine has no links, so SetLink
+		// would never see (and reject) the bad delay.
+		panic(fmt.Sprintf("topology: Uniform delay must be positive, got %g", delay))
+	}
 	t := New(n, name)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -269,6 +277,14 @@ func Mesh8x8Paper() *Topology {
 
 // Ring returns an n-processor ring with the given uniform delay per hop.
 func Ring(n int, delay float64) *Topology {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: Ring needs n >= 1 processors, got %d", n))
+	}
+	if delay <= 0 || math.IsNaN(delay) {
+		// Checked up front: a 1-processor ring has no links, so SetLink would
+		// never see (and reject) the bad delay.
+		panic(fmt.Sprintf("topology: Ring delay must be positive, got %g", delay))
+	}
 	t := New(n, fmt.Sprintf("ring-%d", n))
 	for i := 0; i < n; i++ {
 		j := (i + 1) % n

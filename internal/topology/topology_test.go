@@ -80,6 +80,38 @@ func TestUniformTopology(t *testing.T) {
 	}
 }
 
+func TestUniformRingRejectDegenerate(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func()
+	}{
+		{"uniform n=0", func() { Uniform(0, 1, "u") }},
+		{"uniform n=-3", func() { Uniform(-3, 1, "u") }},
+		{"uniform delay=0", func() { Uniform(2, 0, "u") }},
+		{"uniform delay<0", func() { Uniform(2, -1, "u") }},
+		{"uniform delay=NaN", func() { Uniform(2, math.NaN(), "u") }},
+		{"ring n=0", func() { Ring(0, 1) }},
+		{"ring n=-1", func() { Ring(-1, 1) }},
+		{"ring delay=0", func() { Ring(3, 0) }},
+		{"ring delay<0", func() { Ring(3, -2) }},
+		{"ring delay=NaN", func() { Ring(3, math.NaN()) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic instead of building a degenerate fabric", tc.name)
+				}
+			}()
+			tc.build()
+		})
+	}
+	// The single-processor machines themselves are fine: no links, no delays.
+	if Uniform(1, 5, "solo").N() != 1 || Ring(1, 5).N() != 1 {
+		t.Errorf("1-processor fabrics must still build")
+	}
+}
+
 func TestRingTopology(t *testing.T) {
 	topo := Ring(5, 3)
 	// Neighbours are one hop, the node two steps away costs two hops.
